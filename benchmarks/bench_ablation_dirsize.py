@@ -1,0 +1,41 @@
+"""Ablation (Section 5.2): callback directory size.
+
+The paper simulated 4, 16, 64, and 256 entries per bank "without any
+noticeable change" — the whole point of the tiny, self-contained
+directory. This bench reproduces that insensitivity, plus the stressed
+regime (1 entry per bank with many hot words) where eviction wakeups keep
+the system correct at some performance cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CORES
+from repro.harness.experiments import ablation_dirsize
+from repro.harness.runner import run_config
+from repro.workloads.microbench import LockMicrobench
+
+
+def test_dirsize_insensitivity(benchmark):
+    out = benchmark.pedantic(
+        lambda: ablation_dirsize(num_cores=BENCH_CORES, scale=0.25,
+                                 sizes=(4, 16, 64, 256), verbose=False),
+        rounds=1, iterations=1,
+    )
+    baseline = out[4]
+    for size in (16, 64, 256):
+        assert out[size]["time"] == pytest.approx(baseline["time"],
+                                                  rel=0.02)
+        assert out[size]["traffic"] == pytest.approx(baseline["traffic"],
+                                                     rel=0.02)
+    ablation_dirsize(num_cores=BENCH_CORES, scale=0.25, verbose=True)
+
+
+def test_single_entry_directory_still_correct(benchmark):
+    """Pathological pressure: one entry per bank, contended lock. The
+    protocol must stay correct (eviction answers waiters)."""
+    result = benchmark.pedantic(
+        lambda: run_config("CB-One", LockMicrobench("ttas", iterations=4),
+                           num_cores=BENCH_CORES, cb_entries_per_bank=1),
+        rounds=1, iterations=1,
+    )
+    assert result.cycles > 0

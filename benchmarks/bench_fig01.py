@@ -1,0 +1,45 @@
+"""Figure 1: invalidation vs. LLC spinning with exponential back-off.
+
+Regenerates the paper's motivation graph: normalized LLC accesses and
+spin latency for CLH-lock and TreeSR-barrier spin-waiting under
+Invalidation and BackOff-{0,5,10,15}.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CORES, BENCH_ITERS
+from repro.harness.experiments import fig01
+from repro.harness.runner import run_config
+from repro.workloads.microbench import LockMicrobench
+
+
+def test_fig01_regenerate(benchmark):
+    """Times the full Figure 1 sweep and asserts its shape."""
+    out = benchmark.pedantic(
+        lambda: fig01(num_cores=BENCH_CORES, iterations=BENCH_ITERS,
+                      verbose=False),
+        rounds=1, iterations=1,
+    )
+    for construct in ("clh", "treesr"):
+        accesses = out[construct]["llc_accesses"]
+        latency = out[construct]["latency"]
+        # Invalidation barely touches the LLC; BackOff-0 is the flood.
+        assert accesses["BackOff-0"] == pytest.approx(1.0)
+        assert accesses["Invalidation"] < 0.5
+        # Latency is the price of the largest exponentiation cap.
+        assert latency["BackOff-15"] == pytest.approx(1.0)
+        assert latency["Invalidation"] < latency["BackOff-15"]
+    # Print the regenerated series (the paper's two bar groups).
+    fig01(num_cores=BENCH_CORES, iterations=BENCH_ITERS, verbose=True)
+
+
+def test_fig01_single_run_cost(benchmark):
+    """Times one BackOff-10 CLH microbenchmark run (the unit of work the
+    sweep repeats)."""
+    result = benchmark.pedantic(
+        lambda: run_config("BackOff-10",
+                           LockMicrobench("clh", iterations=BENCH_ITERS),
+                           num_cores=BENCH_CORES),
+        rounds=3, iterations=1,
+    )
+    assert result.cycles > 0

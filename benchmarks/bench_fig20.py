@@ -1,0 +1,49 @@
+"""Figure 20: synchronization behaviour of every construct x technique.
+
+Regenerates the per-algorithm normalized LLC accesses and latency for
+T&T&S, CLH, SR barrier, TreeSR barrier, and signal/wait under
+Invalidation, BackOff-{0,5,10,15}, CB-All, and CB-One.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CORES, BENCH_ITERS
+from repro.harness.experiments import fig20
+
+
+def test_fig20_regenerate(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig20(num_cores=BENCH_CORES, iterations=BENCH_ITERS,
+                      verbose=False),
+        rounds=1, iterations=1,
+    )
+    assert set(out) == {"ttas", "clh", "sr", "treesr", "signal-wait"}
+
+    # LLC spinning floods the LLC: for every construct the most
+    # LLC-access-hungry technique is one of the back-off variants, and
+    # BackOff-0 dwarfs both Invalidation and the callbacks.
+    for construct, metrics in out.items():
+        accesses = metrics["llc_accesses"]
+        top = max(accesses, key=accesses.get)
+        assert top.startswith("BackOff"), (construct, accesses)
+        assert accesses["BackOff-0"] > accesses["CB-One"], construct
+        assert accesses["BackOff-0"] >= accesses["Invalidation"], construct
+
+    # T&T&S acquire: only callback-one approaches Invalidation
+    # (callback-all wakes every spinner; Section 5.3).
+    ttas = out["ttas"]["llc_accesses"]
+    assert ttas["CB-One"] <= ttas["CB-All"]
+
+    # CLH/TreeSR have one spinner per word: both callback modes match.
+    for construct in ("clh", "treesr"):
+        accesses = out[construct]["llc_accesses"]
+        assert accesses["CB-All"] == pytest.approx(accesses["CB-One"],
+                                                   rel=0.05)
+
+    # Invalidation latency is outpaced on the naïve constructs
+    # (contended t&s invalidates every spinner's copy; Section 5.3).
+    for construct in ("ttas", "sr"):
+        latency = out[construct]["latency"]
+        assert latency["Invalidation"] > latency["CB-One"]
+
+    fig20(num_cores=BENCH_CORES, iterations=BENCH_ITERS, verbose=True)

@@ -1,0 +1,40 @@
+"""Figure 22: energy consumption (L1 / LLC / network breakdown).
+
+Regenerates the energy comparison: invalidation concentrates energy in
+the L1 (local spinning), back-off shifts it to the LLC and network, and
+callbacks minimize the total.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CORES, BENCH_SCALE
+from repro.harness.experiments import fig22
+
+SUBSET = ["barnes", "fluidanimate", "raytrace", "streamcluster"]
+
+
+def test_fig22_regenerate(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig22(num_cores=BENCH_CORES, scale=BENCH_SCALE,
+                      verbose=False, apps=SUBSET),
+        rounds=1, iterations=1,
+    )
+    energy = out["energy"]
+    assert energy["Invalidation"]["total"] == pytest.approx(1.0, rel=1e-6)
+
+    # Callbacks reduce total on-chip energy vs both baselines
+    # (paper: -40% vs Invalidation, -5% vs BackOff-10).
+    assert energy["CB-One"]["total"] < energy["Invalidation"]["total"]
+    assert energy["CB-One"]["total"] <= energy["BackOff-10"]["total"]
+
+    # Invalidation's energy lives in the L1 (spinning on the local copy);
+    # the self-invalidation variants barely touch the L1 for sync.
+    assert energy["Invalidation"]["l1"] > energy["CB-One"]["l1"]
+    assert energy["Invalidation"]["l1"] > energy["BackOff-0"]["l1"]
+
+    # Back-off trades that L1 energy for LLC energy.
+    assert energy["BackOff-0"]["llc"] > energy["Invalidation"]["llc"]
+    assert energy["BackOff-0"]["llc"] > energy["CB-One"]["llc"]
+
+    fig22(num_cores=BENCH_CORES, scale=BENCH_SCALE, verbose=True,
+          apps=SUBSET)

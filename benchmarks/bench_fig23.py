@@ -1,0 +1,41 @@
+"""Figure 23: naïve (T&T&S) vs scalable (CLH) locks under TreeSR.
+
+The paper's question: can callbacks make up for non-scalable
+synchronization algorithms? Answer: with callbacks, naïve locks perform
+like scalable ones, while Invalidation degrades with naïve locks.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CORES, BENCH_SCALE
+from repro.harness.experiments import fig23
+
+SUBSET = ["barnes", "cholesky", "raytrace", "fluidanimate"]
+
+
+def test_fig23_regenerate(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig23(num_cores=BENCH_CORES, scale=BENCH_SCALE,
+                      verbose=False, apps=SUBSET),
+        rounds=1, iterations=1,
+    )
+    time = out["time"]
+
+    # Naïve synchronization with callbacks is as good as scalable
+    # synchronization with callbacks (Section 5.4.1).
+    cb_naive = time["ttas"]["CB-One"]
+    cb_scalable = time["clh"]["CB-One"]
+    assert cb_naive == pytest.approx(cb_scalable, rel=0.05)
+
+    # And callbacks stay competitive with Invalidation in both regimes.
+    for lock in ("ttas", "clh"):
+        assert time[lock]["CB-One"] <= time[lock]["Invalidation"] * 1.10
+
+    # Traffic: callbacks win under both lock regimes.
+    for lock in ("ttas", "clh"):
+        traffic = out["traffic"][lock]
+        assert traffic["CB-One"] < traffic["Invalidation"]
+        assert traffic["CB-One"] < traffic["BackOff-10"]
+
+    fig23(num_cores=BENCH_CORES, scale=BENCH_SCALE, verbose=True,
+          apps=SUBSET)

@@ -1,0 +1,30 @@
+"""Benchmark-harness defaults.
+
+Benchmarks run CI-sized machines (16 cores, reduced workload scale) so the
+whole suite finishes in minutes; the shapes they assert are the same ones
+the full 64-core runs show (use ``repro-figures --cores 64`` for those).
+"""
+
+import pytest
+
+#: Machine size for benchmark runs (4x4 mesh).
+BENCH_CORES = 16
+#: Workload scale for suite-based benches.
+BENCH_SCALE = 0.25
+#: Microbenchmark iterations.
+BENCH_ITERS = 5
+
+
+@pytest.fixture
+def bench_cores():
+    return BENCH_CORES
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def bench_iters():
+    return BENCH_ITERS

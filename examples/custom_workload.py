@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Tutorial: building a custom workload against the public API.
+
+Implements a small bounded-buffer producer/consumer application from
+scratch — allocating memory, composing a lock with two signal/wait
+channels (not-empty, not-full), writing the thread generators, and
+comparing the result across coherence techniques. Use this as the
+template for your own workloads.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute, Load, Store
+from repro.sync import make_lock, make_signal_wait, style_for
+
+ITEMS = 12       # items each producer pushes
+CAPACITY = 4     # bounded-buffer slots
+CORES = 16       # 2 producers + 2 consumers + idle cores
+
+
+def build(machine):
+    """Allocate the buffer and its synchronization on ``machine``."""
+    style = style_for(machine.config)
+    n = machine.config.num_threads
+
+    lock = make_lock("ttas", style)          # protects the buffer
+    not_empty = make_signal_wait(style)      # consumers wait on this
+    not_full = make_signal_wait(style)       # producers wait on this
+    for primitive in (lock, not_empty, not_full):
+        primitive.setup(machine.layout, n)
+        for addr, value in primitive.initial_values().items():
+            machine.store.write(addr, value)
+
+    # `not_full` starts with CAPACITY credits: one per free slot.
+    machine.store.write(not_full.counter_addr, CAPACITY)
+
+    count_addr = machine.layout.alloc_sync_word()   # items in the buffer
+    consumed_addr = machine.layout.alloc_sync_word()
+
+    def producer(ctx):
+        for _item in range(ITEMS):
+            yield Compute(20 + ctx.rng.randrange(60))   # produce
+            yield from not_full.wait(ctx)                # need a slot
+            yield from lock.acquire(ctx)
+            count = yield Load(count_addr)
+            yield Store(count_addr, count + 1)
+            yield from lock.release(ctx)
+            yield from not_empty.signal(ctx)             # item available
+
+    def consumer(ctx):
+        for _item in range(ITEMS):
+            yield from not_empty.wait(ctx)               # need an item
+            yield from lock.acquire(ctx)
+            count = yield Load(count_addr)
+            yield Store(count_addr, count - 1)
+            done = yield Load(consumed_addr)
+            yield Store(consumed_addr, done + 1)
+            yield from lock.release(ctx)
+            yield from not_full.signal(ctx)              # slot free
+            yield Compute(20 + ctx.rng.randrange(60))    # consume
+
+    bodies = [producer, producer, consumer, consumer]
+    machine.spawn(bodies)
+    return count_addr, consumed_addr
+
+
+def main() -> None:
+    header = (f"{'config':14s} {'cycles':>9s} {'consumed':>9s} "
+              f"{'in buffer':>10s} {'flit-hops':>10s} {'cb parked':>10s}")
+    print(f"Bounded buffer ({CAPACITY} slots), 2 producers x {ITEMS} items, "
+          f"2 consumers, {CORES} cores")
+    print(header)
+    print("-" * len(header))
+    for label in ("Invalidation", "BackOff-10", "CB-One"):
+        machine = Machine(config_for(label, num_cores=CORES))
+        count_addr, consumed_addr = build(machine)
+        stats = machine.run()
+        consumed = machine.store.read(consumed_addr)
+        leftover = machine.store.read(count_addr)
+        assert consumed == 2 * ITEMS and leftover == 0, "buffer broke!"
+        print(f"{label:14s} {stats.cycles:9d} {consumed:9d} "
+              f"{leftover:10d} {stats.flit_hops:10d} "
+              f"{stats.cb_blocked_reads:10d}")
+    print()
+    print("Every protocol drains the buffer exactly; under CB-One the")
+    print("producers/consumers park in the callback directory whenever")
+    print("the buffer is full/empty instead of spinning on the LLC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Callback directory pressure: what happens when 4 entries are not many.
+
+The callback directory is deliberately tiny (4 entries per bank) and not
+backed by memory: a replacement simply answers the victim's callbacks
+with the current value (Section 2.3.1 of the paper). This example
+engineers real pressure — several contended locks whose words map to the
+*same* bank, spun on concurrently — and shrinks the directory to a single
+entry. Evicted callbacks are answered and re-arm; correctness never
+depends on capacity, only (slightly) performance.
+
+Run:  python examples/directory_pressure.py
+"""
+
+from collections import defaultdict
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute
+from repro.sync import make_lock, style_for
+
+CORES = 16
+LOCKS_PER_BANK = 3   # concurrent hot words per bank
+ITERATIONS = 6
+
+
+def run(entries_per_bank: int):
+    cfg = config_for("CB-One", num_cores=CORES,
+                     cb_entries_per_bank=entries_per_bank)
+    machine = Machine(cfg)
+    style = style_for(cfg)
+
+    # Allocate lock words until one bank holds LOCKS_PER_BANK of them:
+    # those locks' spinners will fight over that bank's directory entries.
+    by_bank = defaultdict(list)
+    target_bank = None
+    while target_bank is None:
+        lock = make_lock("ttas", style)
+        lock.setup(machine.layout, CORES)
+        for addr, value in lock.initial_values().items():
+            machine.store.write(addr, value)
+        bank = machine.protocol.bank_of(lock.addr)
+        by_bank[bank].append(lock)
+        if len(by_bank[bank]) == LOCKS_PER_BANK:
+            target_bank = bank
+    locks = by_bank[target_bank]
+
+    counter = machine.layout.alloc_sync_word()
+
+    def body(ctx):
+        # Spread the threads over the colliding locks: ~5 threads per
+        # lock keeps every lock contended (spinners parked) while all
+        # three words compete for the same bank's directory.
+        lock = locks[ctx.tid % LOCKS_PER_BANK]
+        for _ in range(ITERATIONS):
+            yield from lock.acquire(ctx)
+            machine.store.write(counter,
+                                machine.store.read(counter) + 1)
+            yield Compute(40)
+            yield from lock.release(ctx)
+            yield Compute(1 + ctx.rng.randrange(20))
+
+    machine.spawn([body] * CORES)
+    stats = machine.run()
+    assert machine.store.read(counter) == CORES * ITERATIONS, \
+        "mutual exclusion violated!"
+    return stats
+
+
+def main() -> None:
+    print(f"{CORES} cores; {LOCKS_PER_BANK} contended locks colliding on "
+          f"one bank; CB-One protocol")
+    header = (f"{'entries/bank':>12s} {'cycles':>10s} {'evictions':>10s} "
+              f"{'evict wakeups':>14s} {'flit-hops':>10s}")
+    print(header)
+    print("-" * len(header))
+    for entries in (1, 2, 4, 16):
+        stats = run(entries)
+        print(f"{entries:12d} {stats.cycles:10d} {stats.cb_evictions:10d} "
+              f"{stats.cb_eviction_wakeups:14d} {stats.flit_hops:10d}")
+    print()
+    print("Every row completes correctly — evicted callbacks are answered")
+    print("with the current value and simply re-arm. Pressure shows up as")
+    print("eviction wakeups (and a little extra traffic) at 1-2 entries;")
+    print("by 4 entries per bank it is gone, matching the paper's claim")
+    print("that 4 entries suffice (Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Energy breakdown (the Figure 22 story) on one application stand-in.
+
+Shows where the joules go under each technique: invalidation spins in
+the (relatively expensive) L1, back-off moves the spinning to the LLC
+and network, and callbacks park waiters in a 4-entry structure so all
+three components shrink.
+
+Run:  python examples/energy_breakdown.py [app]
+"""
+
+import sys
+
+from repro.config import PAPER_CONFIGS
+from repro.harness.runner import run_config
+from repro.workloads import APP_NAMES, get_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "streamcluster"
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}; choose from {APP_NAMES}")
+
+    print(f"Energy breakdown for '{app}' (16 cores, scalable sync)")
+    header = (f"{'config':14s} {'L1 nJ':>10s} {'LLC nJ':>10s} "
+              f"{'net nJ':>10s} {'total nJ':>10s} {'vs Inv':>8s}")
+    print(header)
+    print("-" * len(header))
+
+    reference = None
+    for label in PAPER_CONFIGS:
+        workload = get_workload(app, scale=0.5)
+        result = run_config(label, workload, num_cores=16)
+        e = result.energy
+        if reference is None:
+            reference = e.onchip_pj
+        ratio = e.onchip_pj / reference
+        print(f"{label:14s} {e.l1_pj / 1000:10.1f} {e.llc_pj / 1000:10.1f} "
+              f"{e.network_pj / 1000:10.1f} {e.onchip_pj / 1000:10.1f} "
+              f"{ratio:8.3f}")
+
+    print()
+    print("The callback rows minimize every component at once — the")
+    print("paper reports 40% total energy savings vs Invalidation and 5%")
+    print("vs the best-tuned back-off at 64 cores (Section 5.4.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Race locality: why 4 callback-directory entries per bank are enough.
+
+Section 2.2 of the paper argues the callback directory can be tiny
+because "'ongoing' races at any point in time typically concern very few
+addresses". This example records full operation traces of several
+application stand-ins and measures exactly that: the number of distinct
+words being racily accessed by multiple cores in each time window.
+
+Run:  python examples/race_locality.py
+"""
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.trace import TraceRecorder, concurrent_races, racy_fraction
+from repro.workloads import get_workload
+
+APPS = ("barnes", "fluidanimate", "raytrace", "streamcluster", "fft")
+CORES = 16
+
+
+def main() -> None:
+    cfg_template = config_for("CB-One", num_cores=CORES)
+    capacity = cfg_template.cb_entries_per_bank * cfg_template.num_banks
+    print(f"{CORES}-core machine; aggregate callback directory capacity = "
+          f"{capacity} entries "
+          f"({cfg_template.cb_entries_per_bank}/bank x "
+          f"{cfg_template.num_banks} banks)")
+    print()
+    header = (f"{'app':14s} {'ops traced':>11s} {'racy %':>8s} "
+              f"{'max conc. races':>16s} {'mean':>7s} {'peak/bank gauge':>16s}")
+    print(header)
+    print("-" * len(header))
+
+    for app in APPS:
+        machine = Machine(config_for("CB-One", num_cores=CORES))
+        recorder = TraceRecorder(machine)
+        workload = get_workload(app, scale=0.4)
+        workload.install(machine)
+        stats = machine.run()
+        events = recorder.detach()
+        races = concurrent_races(events, window=2000)
+        print(f"{app:14s} {len(events):11d} "
+              f"{100 * racy_fraction(events):8.1f} "
+              f"{races.max_concurrent:16d} {races.mean_concurrent:7.2f} "
+              f"{stats.cb_max_active_entries:16d}")
+
+    print()
+    print("Even at peak, the number of simultaneously-racing words is a")
+    print("tiny fraction of the aggregate directory capacity — and the")
+    print("per-bank gauge (peak entries with pending callbacks in any")
+    print("single bank) shows why 4 entries per bank never evict in")
+    print("practice (the paper's Section 5.2 sweep).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Tail latency: where exponential back-off really hurts.
+
+Figure 1 plots mean latency, but the operational pain of a capped
+exponential back-off is the *tail*: one unlucky spinner sleeps through
+an entire ceiling interval after the value arrived. This example prints
+the lock-acquire latency distribution (p50/p95/p99/max) per technique —
+callbacks have no such tail because the wakeup message is the wake
+event.
+
+Run:  python examples/tail_latency.py
+"""
+
+from repro.config import PAPER_CONFIGS
+from repro.harness.runner import run_config
+from repro.workloads import LockMicrobench
+
+CORES = 16
+ITERS = 8
+
+
+def main() -> None:
+    print(f"CLH lock acquire latency, {CORES} cores, "
+          f"{ITERS} acquires/thread")
+    header = (f"{'config':14s} {'mean':>9s} {'p50':>9s} {'p95':>9s} "
+              f"{'p99':>9s} {'max':>9s}")
+    print(header)
+    print("-" * len(header))
+    for label in PAPER_CONFIGS:
+        result = run_config(label, LockMicrobench("clh", iterations=ITERS),
+                            num_cores=CORES)
+        s = result.stats.episode_summary("lock_acquire")
+        print(f"{label:14s} {s['mean']:9.0f} {s['p50']:9.0f} "
+              f"{s['p95']:9.0f} {s['p99']:9.0f} {s['max']:9.0f}")
+    print()
+    print("Watch the p99/max columns: the BackOff rows inherit the last")
+    print("sleep interval as pure overshoot, growing with the cap, while")
+    print("the callback rows stay flat — the hand-off is message-driven.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Trace-driven mode: record once, replay under every protocol.
+
+Records the synchronization-operation trace of a task-queue workload
+under BackOff-10, then replays the identical operation stream under
+each coherence technique. Replay preserves each thread's demand pattern
+(ops + think time); the protocol under test determines latency and
+traffic — classic trace-driven methodology.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.trace import TraceRecorder, op_mix, replay
+from repro.workloads import TaskQueueWorkload
+
+CORES = 16
+
+
+def main() -> None:
+    # Record under the back-off configuration.
+    machine = Machine(config_for("BackOff-10", num_cores=CORES))
+    recorder = TraceRecorder(machine)
+    workload = TaskQueueWorkload(tasks=48, work_cycles=200)
+    workload.install(machine)
+    machine.run()
+    events = recorder.detach()
+    mix = op_mix(events)
+    print(f"Recorded {len(events)} ops from '{workload.name}' under "
+          f"BackOff-10 on {CORES} cores")
+    print("op mix:", ", ".join(f"{k}:{v}" for k, v in sorted(mix.items())))
+    print()
+
+    header = (f"{'replayed under':14s} {'cycles':>10s} {'LLC sync':>10s} "
+              f"{'flit-hops':>10s}")
+    print(header)
+    print("-" * len(header))
+    for label in ("Invalidation", "BackOff-0", "BackOff-10", "CB-One"):
+        target = Machine(config_for(label, num_cores=CORES))
+        stats = replay(target, events)
+        print(f"{label:14s} {stats.cycles:10d} "
+              f"{stats.llc_sync_accesses:10d} {stats.flit_hops:10d}")
+    print()
+    print("The op stream is identical in every row; only the protocol")
+    print("changes. Note the caveat from docs: a trace records one")
+    print("schedule's spin counts, so replay compares protocols on the")
+    print("recorded demand, not on their own adaptive spinning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (required by PEP 660 editable builds on older setuptools) is not
+available — pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

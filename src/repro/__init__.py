@@ -1,0 +1,36 @@
+"""Reproduction of "Callback: Efficient Synchronization without
+Invalidation with a Directory Just for Spin-Waiting" (Ros & Kaxiras,
+ISCA 2015).
+
+Public API highlights::
+
+    from repro import SystemConfig, Machine, config_for, PAPER_CONFIGS
+    from repro.sync import sync_kit
+    from repro.workloads import get_workload, WORKLOADS
+    from repro.harness import run_workload
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.config import (PAPER_CONFIGS, CallbackMode, Protocol, SystemConfig,
+                          WakePolicy, config_for)
+from repro.core.machine import Machine, run_threads
+from repro.sim.engine import DeadlockError, SimulationError
+from repro.sim.stats import Stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallbackMode",
+    "DeadlockError",
+    "Machine",
+    "PAPER_CONFIGS",
+    "Protocol",
+    "SimulationError",
+    "Stats",
+    "SystemConfig",
+    "WakePolicy",
+    "config_for",
+    "run_threads",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Private/shared data classification for self-invalidation protocols."""
+
+from repro.classify.pagetable import PageClassifier
+
+__all__ = ["PageClassifier"]

@@ -1,0 +1,99 @@
+"""Plain-text configuration files.
+
+Experiment automation wants machine descriptions in files (as GEMS did
+with its config scripts). The format is deliberately trivial — one
+``key = value`` per line, ``#`` comments — and maps 1:1 onto
+:class:`~repro.config.SystemConfig` fields::
+
+    # 16-core callback machine with a big directory
+    num_cores = 16
+    protocol = callback
+    callback_mode = cb_one
+    cb_entries_per_bank = 64
+    topology = torus
+    model_link_contention = true
+
+Enum fields accept their value strings (``protocol = mesi | backoff |
+callback``, ``callback_mode = cb_all | cb_one``, ``cb_wake_policy =
+round_robin | random | fifo``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, TextIO, Union
+
+from repro.config import CallbackMode, Protocol, SystemConfig, WakePolicy
+
+_ENUMS = {
+    "protocol": Protocol,
+    "callback_mode": CallbackMode,
+    "cb_wake_policy": WakePolicy,
+}
+
+_FIELDS = {f.name: f for f in dataclasses.fields(SystemConfig)}
+
+
+class ConfigError(ValueError):
+    """A malformed configuration file."""
+
+
+def _parse_value(key: str, raw: str) -> Any:
+    raw = raw.strip()
+    if key in _ENUMS:
+        enum_cls = _ENUMS[key]
+        for member in enum_cls:
+            if raw.lower() in (member.value.lower(), member.name.lower()):
+                return member
+        raise ConfigError(
+            f"{key}: {raw!r} is not one of "
+            f"{[m.value for m in _ENUMS[key]]}")
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw, 0)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def parse_config(stream: Union[TextIO, str]) -> SystemConfig:
+    """Parse a config file (or its contents) into a SystemConfig."""
+    if isinstance(stream, str):
+        lines = stream.splitlines()
+    else:
+        lines = stream.read().splitlines()
+    overrides: Dict[str, Any] = {}
+    for number, line in enumerate(lines, start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        if "=" not in text:
+            raise ConfigError(f"line {number}: expected 'key = value', "
+                              f"got {text!r}")
+        key, raw = (part.strip() for part in text.split("=", 1))
+        if key not in _FIELDS:
+            raise ConfigError(f"line {number}: unknown field {key!r}")
+        overrides[key] = _parse_value(key, raw)
+    return SystemConfig(**overrides)
+
+
+def load_config(path: str) -> SystemConfig:
+    with open(path) as handle:
+        return parse_config(handle)
+
+
+def save_config(config: SystemConfig, path: str) -> None:
+    """Write every field (one per line) so the file round-trips."""
+    with open(path, "w") as handle:
+        for name in _FIELDS:
+            value = getattr(config, name)
+            if hasattr(value, "value"):
+                value = value.value
+            elif isinstance(value, bool):
+                value = "true" if value else "false"
+            handle.write(f"{name} = {value}\n")

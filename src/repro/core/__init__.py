@@ -1,0 +1,7 @@
+"""Core model and machine assembly."""
+
+from repro.core.core import Core
+from repro.core.machine import Machine, ThreadBody, run_threads
+from repro.core.thread import ThreadContext
+
+__all__ = ["Core", "Machine", "ThreadBody", "ThreadContext", "run_threads"]

@@ -1,0 +1,84 @@
+"""In-order core model: a trampoline that drives one thread generator.
+
+The core has one outstanding memory operation at a time (blocking loads
+and stores, as in the paper's 64 in-order cores). It pulls the next op
+from the thread generator, hands memory ops to the protocol, turns
+``Compute`` into a scheduled delay and ``BackoffWait`` into the
+configuration's exponential back-off delay, and resumes the generator
+with each op's result.
+
+All resumptions are mediated by the engine (ops take >= 1 cycle), so the
+trampoline never recurses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.config import SystemConfig
+from repro.protocols import ops
+from repro.protocols.base import CoherenceProtocol
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+class Core:
+    """One in-order core executing one thread generator."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        engine: Engine,
+        protocol: CoherenceProtocol,
+        stats: Stats,
+        on_done: Callable[[int], None],
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.engine = engine
+        self.protocol = protocol
+        self.stats = stats
+        self.on_done = on_done
+        self.done = False
+        self.start_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self._gen: Optional[Generator] = None
+
+    def start(self, gen: Generator) -> None:
+        """Begin executing ``gen`` at the current cycle."""
+        if self._gen is not None:
+            raise RuntimeError(f"core {self.core_id} already has a thread")
+        self._gen = gen
+        self.start_cycle = self.engine.now
+        self.engine.schedule(0, lambda: self._resume(None))
+
+    def _resume(self, value) -> None:
+        try:
+            op = self._gen.send(value)
+        except StopIteration:
+            self.done = True
+            self.finish_cycle = self.engine.now
+            self.on_done(self.core_id)
+            return
+        self._dispatch(op)
+
+    #: Cycles of computation per (bulk-accounted) L1 data access. An
+    #: in-order core touches its L1 every few cycles while computing;
+    #: without this baseline, spin-loop L1 accesses would be essentially
+    #: the *only* L1 activity and Figure 22's L1 energy share would be
+    #: wildly exaggerated for the Invalidation configuration.
+    COMPUTE_CYCLES_PER_L1_ACCESS = 7
+
+    def _dispatch(self, op: ops.Op) -> None:
+        if isinstance(op, ops.Compute):
+            accesses = op.cycles // self.COMPUTE_CYCLES_PER_L1_ACCESS
+            self.stats.l1_accesses += accesses
+            self.stats.l1_hits += accesses
+            self.engine.schedule(max(1, op.cycles), lambda: self._resume(None))
+        elif isinstance(op, ops.BackoffWait):
+            delay = self.config.backoff_delay(op.attempt)
+            self.stats.backoff_cycles += delay
+            self.engine.schedule(max(1, delay), lambda: self._resume(None))
+        else:
+            self.protocol.issue(self.core_id, op).add_callback(self._resume)

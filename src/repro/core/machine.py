@@ -1,0 +1,92 @@
+"""The machine: cores + protocol + NoC wired together, with a run loop.
+
+:class:`Machine` is the public simulator facade. Construct it from a
+:class:`~repro.config.SystemConfig`, hand it thread generator factories
+(one per hardware thread), and :meth:`run` to completion. The result is
+the populated :class:`~repro.sim.stats.Stats` plus the parallel-section
+cycle count, mirroring the paper's methodology of collecting statistics
+over the parallel section only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.core import Core
+from repro.core.thread import ThreadContext
+from repro.mem.layout import MemoryLayout
+from repro.mem.store import WordStore
+from repro.noc.network import Network
+from repro.protocols import build_protocol
+from repro.protocols.base import CoherenceProtocol
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.stats import Stats
+
+#: A thread body: takes its context, returns an op generator.
+ThreadBody = Callable[[ThreadContext], Generator]
+
+
+class Machine:
+    """A complete simulated CMP for one run."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.stats = Stats()
+        self.store = WordStore(config.word_bytes)
+        self.network = Network(config, self.engine, self.stats)
+        self.protocol: CoherenceProtocol = build_protocol(
+            config, self.engine, self.network, self.stats, self.store
+        )
+        self.layout = MemoryLayout(config)
+        # One Core driver per hardware thread (SMT siblings share their
+        # physical core's L1 and tile inside the protocol).
+        self._cores = [
+            Core(i, config, self.engine, self.protocol, self.stats,
+                 self._core_done)
+            for i in range(config.num_threads)
+        ]
+        self._remaining = 0
+        self._started = False
+
+    def _core_done(self, core_id: int) -> None:
+        self._remaining -= 1
+
+    def spawn(self, bodies: Sequence[ThreadBody]) -> None:
+        """Install one thread per body on cores 0..len(bodies)-1."""
+        if self._started:
+            raise RuntimeError("machine already started")
+        if len(bodies) > self.config.num_threads:
+            raise ValueError(
+                f"{len(bodies)} threads > {self.config.num_threads} "
+                f"hardware threads"
+            )
+        self._started = True
+        self._remaining = len(bodies)
+        for tid, body in enumerate(bodies):
+            ctx = ThreadContext(tid, self.config, self.engine, self.stats)
+            self._cores[tid].start(body(ctx))
+
+    def run(self) -> Stats:
+        """Run to completion; raises :class:`DeadlockError` if threads
+        block forever (e.g. a lost wakeup)."""
+        if not self._started:
+            raise RuntimeError("spawn threads before running")
+        self.engine.run(max_events=self.config.max_events)
+        if self._remaining:
+            blocked = [c.core_id for c in self._cores
+                       if not c.done and c.start_cycle is not None]
+            raise DeadlockError(
+                f"{self._remaining} thread(s) never finished; blocked cores: "
+                f"{blocked} at cycle {self.engine.now}"
+            )
+        self.stats.cycles = self.engine.now
+        return self.stats
+
+
+def run_threads(config: SystemConfig, bodies: Sequence[ThreadBody]) -> Stats:
+    """Convenience: build a machine, spawn ``bodies``, run, return stats."""
+    machine = Machine(config)
+    machine.spawn(bodies)
+    return machine.run()

@@ -1,0 +1,46 @@
+"""Thread context: what a workload/sync generator can see and do.
+
+A *thread* is a Python generator that yields :mod:`repro.protocols.ops`
+objects and receives each op's result back at the yield point. The
+:class:`ThreadContext` is passed to the generator factory and exposes the
+thread id, the machine configuration, a deterministic per-thread RNG, the
+clock (for episode timing), and the stats object (for recording
+synchronization episode latencies).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.sim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class ThreadContext:
+    """Per-thread view of the machine, handed to workload generators."""
+
+    def __init__(self, tid: int, config: SystemConfig, engine: "Engine",
+                 stats: Stats) -> None:
+        self.tid = tid
+        self.config = config
+        self.engine = engine
+        self.stats = stats
+        self.rng = random.Random(config.seed * 65537 + tid)
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle (for episode latency measurement)."""
+        return self.engine.now
+
+    @property
+    def num_threads(self) -> int:
+        return self.config.num_threads
+
+    def record_episode(self, category: str, start_cycle: int) -> None:
+        """Record a completed synchronization episode's latency."""
+        self.stats.record_episode(category, self.engine.now - start_cycle,
+                                  tid=self.tid)

@@ -1,0 +1,24 @@
+"""Energy accounting (Figure 22) + the core power-state extension."""
+
+from repro.energy.model import (CB_DIR_ACCESS_PJ, FLIT_HOP_PJ, L1_ACCESS_PJ,
+                                LLC_DATA_PJ, LLC_TAG_PJ, MEM_ACCESS_PJ,
+                                EnergyBreakdown, energy_of)
+from repro.energy.power import (BACKOFF_NAP_FACTOR, CORE_ACTIVE_PJ_PER_CYCLE,
+                                CORE_SLEEP_PJ_PER_CYCLE, CorePowerReport,
+                                core_power_report)
+
+__all__ = [
+    "BACKOFF_NAP_FACTOR",
+    "CB_DIR_ACCESS_PJ",
+    "CORE_ACTIVE_PJ_PER_CYCLE",
+    "CORE_SLEEP_PJ_PER_CYCLE",
+    "CorePowerReport",
+    "EnergyBreakdown",
+    "FLIT_HOP_PJ",
+    "L1_ACCESS_PJ",
+    "LLC_DATA_PJ",
+    "LLC_TAG_PJ",
+    "MEM_ACCESS_PJ",
+    "core_power_report",
+    "energy_of",
+]

@@ -1,0 +1,81 @@
+"""Core power-state extension (the paper's Section 2.1 future work).
+
+The paper observes that "a core can easily go into a power-saving mode
+while waiting" on a callback — unlike MESI local spinning (the core
+executes the spin loop flat out) or LLC spinning with back-off (the core
+must keep waking to probe, so at best it naps between probes). This
+module quantifies that opportunity, in the spirit of the thrifty-barrier
+line of work the paper cites [15, 16].
+
+Model: each core burns ``CORE_ACTIVE_PJ_PER_CYCLE`` while running and
+``CORE_SLEEP_PJ_PER_CYCLE`` (clock-gated, state retained) while parked.
+Per technique:
+
+* MESI: spin iterations are fully active — no sleepable cycles (a quiesce
+  instruction could recover some, but needs the event-monitor hardware
+  the paper contrasts against in Section 4.1);
+* back-off: the cycles *between* probes (``stats.backoff_cycles``) could
+  be napped with a timer wakeup, but at a shallower state because the
+  core self-wakes on a deadline — modelled by ``BACKOFF_NAP_FACTOR``;
+* callback: the full park-to-wake window (``stats.cb_parked_cycles``) is
+  sleepable — the wakeup message is the wake event, so no timer, no
+  polling, deepest state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.sim.stats import Stats
+
+#: Dynamic energy of one active core-cycle (pJ) — order of a simple
+#: in-order core at 32 nm.
+CORE_ACTIVE_PJ_PER_CYCLE = 40.0
+#: Clock-gated, state-retentive sleep (deep nap) energy per cycle.
+CORE_SLEEP_PJ_PER_CYCLE = 4.0
+#: Back-off naps are timer-bounded and shallower: fraction of the active
+#: energy still burned during a nap cycle.
+BACKOFF_NAP_FACTOR = 0.5
+
+
+@dataclass
+class CorePowerReport:
+    """Sleepable-cycle accounting for one run."""
+
+    total_core_cycles: int
+    sleepable_cycles: int       # deep-sleep eligible (callback parks)
+    nappable_cycles: int        # shallow-nap eligible (back-off gaps)
+    baseline_pj: float          # everything active
+    gated_pj: float             # with the power-saving mode applied
+
+    @property
+    def sleepable_fraction(self) -> float:
+        if self.total_core_cycles == 0:
+            return 0.0
+        return self.sleepable_cycles / self.total_core_cycles
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_pj == 0:
+            return 0.0
+        return 1.0 - self.gated_pj / self.baseline_pj
+
+
+def core_power_report(stats: Stats, config: SystemConfig) -> CorePowerReport:
+    """Quantify the power-saving opportunity of one finished run."""
+    total = stats.cycles * config.num_cores
+    sleepable = min(stats.cb_parked_cycles, total)
+    nappable = min(stats.backoff_cycles, total - sleepable)
+    active = total - sleepable - nappable
+    baseline = total * CORE_ACTIVE_PJ_PER_CYCLE
+    gated = (active * CORE_ACTIVE_PJ_PER_CYCLE
+             + sleepable * CORE_SLEEP_PJ_PER_CYCLE
+             + nappable * CORE_ACTIVE_PJ_PER_CYCLE * BACKOFF_NAP_FACTOR)
+    return CorePowerReport(
+        total_core_cycles=total,
+        sleepable_cycles=sleepable,
+        nappable_cycles=nappable,
+        baseline_pj=baseline,
+        gated_pj=gated,
+    )

@@ -1,0 +1,32 @@
+"""Experiment harness: runner, per-figure experiments, reporting, CLI."""
+
+from repro.harness.fairness import (acquisition_fairness, jain_index,
+                                    latency_fairness)
+from repro.harness.replication import (Replicate, replicate,
+                                       replicate_comparison)
+from repro.harness.reporting import (format_table, geomean, geomean_rows,
+                                     normalize_to, normalize_to_max)
+from repro.harness.results_io import load_result, save_result
+from repro.harness.runner import RunResult, run_config, run_workload
+from repro.harness.sweeps import Sweep, rows_to_table
+
+__all__ = [
+    "Replicate",
+    "RunResult",
+    "Sweep",
+    "acquisition_fairness",
+    "format_table",
+    "geomean",
+    "geomean_rows",
+    "jain_index",
+    "latency_fairness",
+    "load_result",
+    "normalize_to",
+    "normalize_to_max",
+    "replicate",
+    "replicate_comparison",
+    "rows_to_table",
+    "run_config",
+    "run_workload",
+    "save_result",
+]

@@ -1,0 +1,49 @@
+"""ASCII bar-chart rendering for figure tables.
+
+The paper's figures are grouped bar charts; the harness's numeric tables
+are exact but hard to eyeball. These helpers render {row: {column:
+value}} data as horizontal bars, used by ``repro-figures --chart``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+FILL = "█"
+HALF = "▌"
+
+
+def hbar(value: float, scale: float, width: int = 40) -> str:
+    """A horizontal bar for ``value`` given ``scale`` == full width."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = FILL * whole
+    if frac >= 0.5:
+        bar += HALF
+    return bar
+
+
+def bar_chart(title: str, columns: Sequence[str],
+              rows: Mapping[str, Mapping[str, float]],
+              width: int = 40, precision: int = 3) -> str:
+    """Render grouped horizontal bars, one group per row label."""
+    scale = max((row.get(c, 0.0) for row in rows.values() for c in columns),
+                default=0.0)
+    if scale <= 0:
+        scale = 1.0
+    col_width = max(len(c) for c in columns)
+    out: List[str] = [f"== {title} =="]
+    for label, row in rows.items():
+        out.append(f"{label}:")
+        for column in columns:
+            value = row.get(column, 0.0)
+            out.append(
+                f"  {column.rjust(col_width)} "
+                f"{value:>{precision + 4}.{precision}f} "
+                f"{hbar(value, scale, width)}"
+            )
+        out.append("")
+    return "\n".join(out)

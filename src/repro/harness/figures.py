@@ -1,0 +1,116 @@
+"""Command-line entry point to regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.harness.figures fig1 [--cores 64] [--scale 1.0]
+    python -m repro.harness.figures fig20 fig21 fig22 fig23
+    python -m repro.harness.figures all --cores 16 --scale 0.25   # quick
+    repro-figures ablation-dirsize ablation-policy
+
+Full paper-sized runs (64 cores, scale 1.0) take minutes per figure in
+pure Python; the quick settings reproduce the same shapes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.harness import experiments, extensions
+
+FIGS = ("fig1", "fig20", "fig21", "fig22", "fig23",
+        "ablation-dirsize", "ablation-policy",
+        "ext-scaling", "ext-power", "ext-contention")
+
+
+def _run_one(name: str, cores: int, scale: float, iterations: int,
+             chart: bool = False, save_json: str = None) -> None:
+    started = time.time()
+    print(f"=== {name} (cores={cores}, scale={scale}) ===")
+    out = None
+    if name == "fig1":
+        out = experiments.fig01(num_cores=cores, iterations=iterations)
+        if chart:
+            _chart_sync(out, "Fig1")
+    elif name == "fig20":
+        out = experiments.fig20(num_cores=cores, iterations=iterations)
+        if chart:
+            _chart_sync(out, "Fig20")
+    elif name == "fig21":
+        out = experiments.fig21(num_cores=cores, scale=scale)
+        if chart:
+            from repro.harness.charts import bar_chart
+            for metric in ("time", "traffic"):
+                rows = {"geomean": out[metric]["geomean"]}
+                print(bar_chart(f"Fig21 {metric} (geomean, normalized to "
+                                f"Invalidation)",
+                                list(out[metric]["geomean"]), rows))
+    elif name == "fig22":
+        out = experiments.fig22(num_cores=cores, scale=scale)
+    elif name == "fig23":
+        out = experiments.fig23(num_cores=cores, scale=scale)
+    elif name == "ablation-dirsize":
+        out = experiments.ablation_dirsize(num_cores=cores, scale=scale / 2)
+    elif name == "ablation-policy":
+        out = experiments.ablation_policy(num_cores=cores,
+                                          iterations=iterations)
+    elif name == "ext-scaling":
+        counts = [c for c in (4, 16, 36, 64) if c <= cores]
+        out = extensions.scaling(core_counts=counts, scale=scale / 2)
+    elif name == "ext-power":
+        out = extensions.power_saving(num_cores=cores)
+    elif name == "ext-contention":
+        out = extensions.link_contention(num_cores=cores,
+                                         iterations=iterations)
+    else:
+        raise ValueError(f"unknown figure {name!r}")
+    if save_json and out is not None:
+        from repro.harness.results_io import save_result
+        path = save_result(out, save_json, name.replace("-", "_"))
+        print(f"[saved {path}]")
+    print(f"[{name} done in {time.time() - started:.1f}s]\n")
+
+
+def _chart_sync(out: dict, title: str) -> None:
+    """Render a fig1/fig20-style result as grouped bar charts."""
+    from repro.harness.charts import bar_chart
+    for metric in ("llc_accesses", "latency"):
+        rows = {construct: out[construct][metric] for construct in out}
+        columns = list(next(iter(rows.values())))
+        print(bar_chart(f"{title} {metric} (normalized to max)", columns,
+                        rows))
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the figures of the Callback paper "
+                    "(Ros & Kaxiras, ISCA 2015).",
+    )
+    parser.add_argument("figures", nargs="+",
+                        help=f"one or more of {FIGS + ('all',)}")
+    parser.add_argument("--cores", type=int, default=64,
+                        help="cores/threads (default 64, Table 2)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--iterations", type=int, default=8,
+                        help="microbenchmark iterations (default 8)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render ASCII bar charts")
+    parser.add_argument("--save-json", metavar="DIR", default=None,
+                        help="also write each figure's data as JSON")
+    args = parser.parse_args(argv)
+
+    todo = list(FIGS) if "all" in args.figures else args.figures
+    for name in todo:
+        if name not in FIGS:
+            parser.error(f"unknown figure {name!r}; choose from {FIGS}")
+        _run_one(name, args.cores, args.scale, args.iterations,
+                 chart=args.chart, save_json=args.save_json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

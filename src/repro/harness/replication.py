@@ -1,0 +1,90 @@
+"""Multi-seed replication: run an experiment across seeds and summarize.
+
+The simulator is deterministic per seed; workload randomness (compute
+skew, lock choice, data-access sampling) flows from ``SystemConfig.seed``.
+Replicating a measurement across seeds gives a dispersion estimate, so a
+figure's conclusion ("CB-One < BackOff-10 in traffic") can be checked for
+stability rather than read off a single run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.config import config_for
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Replicate:
+    """Mean/std/range of one metric across seeds."""
+
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def lo(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def hi(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def separated_from(self, other: "Replicate") -> bool:
+        """True if the two samples' ranges do not overlap — a blunt but
+        assumption-free separation test for shape assertions."""
+        return self.hi < other.lo or other.hi < self.lo
+
+
+def replicate(
+    label: str,
+    workload_factory: Callable[[], Workload],
+    metric: Callable[[RunResult], float],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    **config_overrides,
+) -> Replicate:
+    """Run ``workload_factory()`` under ``label`` once per seed."""
+    values = []
+    for seed in seeds:
+        config = config_for(label, seed=seed, **config_overrides)
+        result = run_workload(config, workload_factory())
+        values.append(metric(result))
+    return Replicate(values)
+
+
+def replicate_comparison(
+    labels: Sequence[str],
+    workload_factory: Callable[[], Workload],
+    metric: Callable[[RunResult], float],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    **config_overrides,
+) -> Dict[str, Replicate]:
+    """Replicate one metric across several configurations."""
+    return {
+        label: replicate(label, workload_factory, metric, seeds,
+                         **config_overrides)
+        for label in labels
+    }

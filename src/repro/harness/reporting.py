@@ -1,0 +1,68 @@
+"""Result post-processing: normalization, geometric means, ASCII tables.
+
+The paper's figures are normalized bar charts; the harness reproduces
+them as tables of normalized values (one row per benchmark/algorithm, one
+column per configuration), printed to stdout and returned as dicts for
+programmatic checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; zeros are clamped to a tiny epsilon (a benchmark
+    with zero traffic in one config must not nuke the whole mean)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    eps = 1e-12
+    return math.exp(sum(math.log(max(v, eps)) for v in values) / len(values))
+
+
+def normalize_to(row: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Normalize a {config: value} row to ``row[reference]`` (Figure 21)."""
+    ref = row[reference]
+    if ref == 0:
+        return {k: 0.0 for k in row}
+    return {k: v / ref for k, v in row.items()}
+
+
+def normalize_to_max(row: Mapping[str, float]) -> Dict[str, float]:
+    """Normalize a row to its largest value (Figures 1 and 20)."""
+    top = max(row.values()) if row else 0.0
+    if top == 0:
+        return {k: 0.0 for k in row}
+    return {k: v / top for k, v in row.items()}
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Mapping[str, Mapping[str, float]],
+                 precision: int = 3) -> str:
+    """Render {row_label: {column: value}} as an aligned ASCII table."""
+    label_width = max([len(r) for r in rows] + [len(title), 10])
+    col_width = max([len(c) for c in columns] + [precision + 4])
+    out: List[str] = []
+    header = title.ljust(label_width) + " | " + " ".join(
+        c.rjust(col_width) for c in columns
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for label, row in rows.items():
+        cells = " ".join(
+            f"{row.get(c, float('nan')):{col_width}.{precision}f}"
+            for c in columns
+        )
+        out.append(label.ljust(label_width) + " | " + cells)
+    return "\n".join(out)
+
+
+def geomean_rows(rows: Mapping[str, Mapping[str, float]],
+                 columns: Sequence[str]) -> Dict[str, float]:
+    """Column-wise geometric mean over all rows (the paper's summaries)."""
+    return {
+        c: geomean(row[c] for row in rows.values() if c in row)
+        for c in columns
+    }

@@ -1,0 +1,65 @@
+"""Result persistence: figure data as JSON for archival and diffing.
+
+``repro-figures --save-json DIR`` writes each figure's structured result
+next to the printed tables, so EXPERIMENTS.md numbers can be traced to a
+file and two checkouts can be compared mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict
+
+from repro.harness.runner import RunResult
+from repro.sim.stats import Stats
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert harness results into JSON-encodable data."""
+    if isinstance(value, RunResult):
+        return {
+            "workload": value.workload,
+            "config": value.config_label,
+            "cycles": value.cycles,
+            "traffic": value.traffic,
+            "llc_sync": value.llc_sync,
+            "energy": value.energy.as_dict(),
+            "stats": stats_dict(value.stats),
+        }
+    if isinstance(value, Stats):
+        return stats_dict(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def stats_dict(stats: Stats) -> Dict[str, Any]:
+    """The headline counters plus per-episode summaries."""
+    out: Dict[str, Any] = stats.summary()
+    out["episodes"] = {
+        category: stats.episode_summary(category)
+        for category in stats.episode_latencies
+    }
+    return out
+
+
+def save_result(data: Any, directory: str, name: str) -> str:
+    """Write one figure's structured result as ``DIR/name.json``."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(_jsonable(data), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_result(directory: str, name: str) -> Any:
+    with open(os.path.join(directory, f"{name}.json")) as handle:
+        return json.load(handle)

@@ -1,0 +1,57 @@
+"""Experiment runner: one (configuration, workload) simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig, config_for
+from repro.core.machine import Machine
+from repro.energy.model import EnergyBreakdown, energy_of
+from repro.sim.stats import Stats
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RunResult:
+    """Everything the figures need from one simulation."""
+
+    workload: str
+    config_label: str
+    stats: Stats
+    energy: EnergyBreakdown
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def traffic(self) -> int:
+        """Network traffic metric: flit-hops (Figures 1/21/23)."""
+        return self.stats.flit_hops
+
+    @property
+    def llc_sync(self) -> int:
+        """LLC accesses due to synchronization (Figures 1/20)."""
+        return self.stats.llc_sync_accesses
+
+    def episode_mean(self, category: str) -> float:
+        return self.stats.episode_mean(category)
+
+
+def run_workload(config: SystemConfig, workload: Workload) -> RunResult:
+    """Simulate ``workload`` on a machine built from ``config``."""
+    machine = Machine(config)
+    workload.install(machine)
+    stats = machine.run()
+    return RunResult(
+        workload=workload.name,
+        config_label=config.label(),
+        stats=stats,
+        energy=energy_of(stats),
+    )
+
+
+def run_config(name: str, workload: Workload, **overrides) -> RunResult:
+    """Run under a paper configuration label ("Invalidation", ...)."""
+    return run_workload(config_for(name, **overrides), workload)

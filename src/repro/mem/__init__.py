@@ -1,0 +1,16 @@
+"""Memory substrate: addressing, caches, value store, main memory."""
+
+from repro.mem.cache import CacheLine, SetAssociativeCache
+from repro.mem.layout import AddressMap, MemoryLayout, Region
+from repro.mem.mainmem import MainMemory
+from repro.mem.store import WordStore
+
+__all__ = [
+    "AddressMap",
+    "CacheLine",
+    "MainMemory",
+    "MemoryLayout",
+    "Region",
+    "SetAssociativeCache",
+    "WordStore",
+]

@@ -1,0 +1,24 @@
+"""Main memory latency model.
+
+A flat, fixed-latency DRAM behind the LLC (160 cycles in Table 2). Memory
+traffic is accounted on the stats object; we do not model a memory
+controller queue — the paper's effects are on-chip.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.sim.stats import Stats
+
+
+class MainMemory:
+    """Fixed-latency backing store behind all LLC banks."""
+
+    def __init__(self, config: SystemConfig, stats: Stats) -> None:
+        self.latency = config.mem_latency
+        self.stats = stats
+
+    def access(self) -> int:
+        """Account one memory access; returns its latency in cycles."""
+        self.stats.mem_accesses += 1
+        return self.latency

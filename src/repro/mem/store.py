@@ -1,0 +1,73 @@
+"""Global word-granular value store.
+
+Synchronization correctness (locks actually excluding, barriers actually
+releasing) requires real values, so the machine keeps one authoritative
+word store representing the content of the LLC/memory. Data-race-free
+application data is simulated for timing/traffic only and never reads this
+store.
+
+The store also keeps a per-word version counter, which protocols use to
+detect "a write happened since" cheaply (e.g. MESI value snapshots in L1
+lines are validated against it in assertions/tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class WordStore:
+    """Authoritative values of all words, default 0."""
+
+    def __init__(self, word_bytes: int = 8) -> None:
+        self._word_bytes = word_bytes
+        self._values: Dict[int, int] = {}
+        self._versions: Dict[int, int] = {}
+
+    def _key(self, addr: int) -> int:
+        return addr // self._word_bytes
+
+    def read(self, addr: int) -> int:
+        return self._values.get(self._key(addr), 0)
+
+    def write(self, addr: int, value: int) -> None:
+        key = self._key(addr)
+        self._values[key] = value
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def version(self, addr: int) -> int:
+        return self._versions.get(self._key(addr), 0)
+
+    def read_versioned(self, addr: int) -> Tuple[int, int]:
+        key = self._key(addr)
+        return self._values.get(key, 0), self._versions.get(key, 0)
+
+    def fetch_add(self, addr: int, delta: int) -> int:
+        """Atomic add; returns the *old* value (fetch&add semantics)."""
+        old = self.read(addr)
+        self.write(addr, old + delta)
+        return old
+
+    def swap(self, addr: int, value: int) -> int:
+        """Atomic exchange; returns the old value (fetch&store)."""
+        old = self.read(addr)
+        self.write(addr, value)
+        return old
+
+    def test_and_set(self, addr: int, test: int, set_value: int) -> Tuple[int, bool]:
+        """T&S: if current == ``test``, write ``set_value``.
+
+        Returns ``(old_value, wrote)``.
+        """
+        old = self.read(addr)
+        if old == test:
+            self.write(addr, set_value)
+            return old, True
+        return old, False
+
+    def compare_and_swap(self, addr: int, expect: int, new: int) -> Tuple[int, bool]:
+        old = self.read(addr)
+        if old == expect:
+            self.write(addr, new)
+            return old, True
+        return old, False

@@ -1,0 +1,8 @@
+"""On-chip network: mesh topology, message vocabulary, timing model."""
+
+from repro.noc.mesh import Mesh, Torus, make_topology
+from repro.noc.messages import MsgKind, message_bytes
+from repro.noc.network import Network
+
+__all__ = ["Mesh", "MsgKind", "Network", "Torus",
+           "make_topology", "message_bytes"]

@@ -1,0 +1,27 @@
+"""Coherence protocols: MESI (Invalidation), VIPS-M (BackOff), Callback."""
+
+from repro.config import Protocol, SystemConfig
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.callback.protocol import CallbackProtocol
+from repro.protocols.mesi.protocol import MESIProtocol
+from repro.protocols.vips.protocol import VIPSProtocol
+
+
+def build_protocol(config: SystemConfig, engine, network, stats, store
+                   ) -> CoherenceProtocol:
+    """Instantiate the protocol selected by ``config.protocol``."""
+    cls = {
+        Protocol.MESI: MESIProtocol,
+        Protocol.VIPS_BACKOFF: VIPSProtocol,
+        Protocol.VIPS_CALLBACK: CallbackProtocol,
+    }[config.protocol]
+    return cls(config, engine, network, stats, store)
+
+
+__all__ = [
+    "CallbackProtocol",
+    "CoherenceProtocol",
+    "MESIProtocol",
+    "VIPSProtocol",
+    "build_protocol",
+]

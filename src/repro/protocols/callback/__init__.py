@@ -1,0 +1,7 @@
+"""The callback mechanism: directory, entries, and protocol."""
+
+from repro.protocols.callback.directory import CallbackDirectory
+from repro.protocols.callback.entry import CBEntry, Waiter
+from repro.protocols.callback.protocol import CallbackProtocol
+
+__all__ = ["CBEntry", "CallbackDirectory", "CallbackProtocol", "Waiter"]

@@ -1,0 +1,162 @@
+"""Callback directory entry: per-core F/E + CB bits and the A/O mode bit.
+
+The semantics follow Section 2 of the paper:
+
+* On allocation (and after any replacement) an entry starts with **all F/E
+  bits full and all CB bits clear** — the known re-initialization state
+  that makes the directory self-contained (Section 2.3.1).
+* In **All** mode the F/E bits act individually: a read consumes its own
+  core's F/E bit; a write (st_cbA) wakes every waiter and fills the F/E
+  bits of the cores that did *not* have a callback.
+* In **One** mode (entered by st_cb1/st_cb0) the F/E bits act in unison
+  (all ones or all zeroes): a read consumes only if all are full, clearing
+  all of them; st_cb1 wakes exactly one waiter leaving F/E undisturbed;
+  st_cb0 wakes nobody and leaves F/E empty.
+
+Waiters are stored per core with an opaque ``wake(value)`` closure: the
+protocol supplies a closure that either sends a Wakeup message to the core
+(plain ``ld_cb``) or executes the parked RMW at the LLC (Section 2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import WakePolicy
+
+
+class Waiter:
+    """One parked callback read.
+
+    ``word`` is filled in by :meth:`CBEntry.park` so that a waiter detached
+    by an eviction still knows which word's current value to receive.
+    """
+
+    __slots__ = ("core", "wake", "since", "word")
+
+    def __init__(self, core: int, wake: Callable[[int], None], since: int) -> None:
+        self.core = core
+        self.wake = wake
+        self.since = since
+        self.word: int = -1
+
+
+class CBEntry:
+    """F/E + CB bit vectors for one word address."""
+
+    __slots__ = ("word", "num_cores", "fe", "cb", "mode_all", "rr_ptr",
+                 "waiters", "arrival")
+
+    def __init__(self, word: int, num_cores: int) -> None:
+        self.word = word
+        self.num_cores = num_cores
+        full = (1 << num_cores) - 1
+        self.fe = full          # all full on (re-)initialization
+        self.cb = 0             # no callbacks
+        self.mode_all = True    # A/O bit: "All" by default
+        self.rr_ptr = 0         # round-robin scan start for callback-one
+        self.waiters: Dict[int, Waiter] = {}
+        self.arrival: List[int] = []  # FIFO arrival order of waiters
+
+    # ----------------------------------------------------------- bit helpers
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.num_cores) - 1
+
+    def fe_full(self, core: int) -> bool:
+        return bool(self.fe & (1 << core))
+
+    def has_callbacks(self) -> bool:
+        return self.cb != 0
+
+    def callback_cores(self) -> List[int]:
+        return [c for c in range(self.num_cores) if self.cb & (1 << c)]
+
+    # -------------------------------------------------------------- consume
+
+    def try_consume(self, core: int) -> bool:
+        """A read attempts to consume the value; True if F/E permitted it.
+
+        All mode: the core's own bit. One mode: all bits act in unison.
+        """
+        if self.mode_all:
+            if self.fe & (1 << core):
+                self.fe &= ~(1 << core)
+                return True
+            return False
+        if self.fe == self.full_mask:
+            self.fe = 0
+            return True
+        return False
+
+    # ---------------------------------------------------------------- park
+
+    def park(self, waiter: Waiter) -> None:
+        if waiter.core in self.waiters:
+            raise RuntimeError(
+                f"core {waiter.core} already has a callback on {self.word:#x}"
+            )
+        waiter.word = self.word
+        self.cb |= 1 << waiter.core
+        self.waiters[waiter.core] = waiter
+        self.arrival.append(waiter.core)
+
+    def _pop_waiter(self, core: int) -> Waiter:
+        self.cb &= ~(1 << core)
+        self.arrival.remove(core)
+        return self.waiters.pop(core)
+
+    # --------------------------------------------------------------- writes
+
+    def write_all(self, value: int) -> List[Waiter]:
+        """st_cbA / st_through: wake everybody; cores without a callback get
+        their F/E bit set full. Resets the A/O bit to All."""
+        self.mode_all = True
+        woken = [self._pop_waiter(c) for c in self.callback_cores()]
+        woken_mask = 0
+        for waiter in woken:
+            woken_mask |= 1 << waiter.core
+        # Waiters consumed the write (F/E stays empty); everyone else may
+        # now read it directly.
+        self.fe = self.full_mask & ~woken_mask
+        return woken
+
+    def write_one(self, value: int, policy: WakePolicy,
+                  rng_next: Callable[[int], int]) -> Optional[Waiter]:
+        """st_cb1: One mode; wake a single waiter (F/E undisturbed), or, if
+        nobody waits, make the value consumable once (all F/E full)."""
+        self.mode_all = False
+        if not self.cb:
+            self.fe = self.full_mask
+            return None
+        victim = self._choose(policy, rng_next)
+        return self._pop_waiter(victim)
+
+    def write_zero(self, value: int) -> None:
+        """st_cb0: One mode; wake nobody; the value is not consumable."""
+        self.mode_all = False
+        self.fe = 0
+
+    def _choose(self, policy: WakePolicy, rng_next: Callable[[int], int]) -> int:
+        cores = self.callback_cores()
+        if policy is WakePolicy.FIFO:
+            return self.arrival[0]
+        if policy is WakePolicy.RANDOM:
+            return cores[rng_next(len(cores))]
+        # Pseudo-random round-robin (the paper's policy): scan upward from
+        # the rotating pointer, wrapping at the highest core id.
+        for offset in range(self.num_cores):
+            candidate = (self.rr_ptr + offset) % self.num_cores
+            if self.cb & (1 << candidate):
+                self.rr_ptr = (candidate + 1) % self.num_cores
+                return candidate
+        raise RuntimeError("no callback set")  # pragma: no cover
+
+    # ------------------------------------------------------------- eviction
+
+    def evict(self) -> List[Waiter]:
+        """Replacement: answer every pending callback with the current
+        value; all bits are lost (the entry object is discarded)."""
+        woken = [self._pop_waiter(c) for c in self.callback_cores()]
+        return woken

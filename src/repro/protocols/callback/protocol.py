@@ -1,0 +1,208 @@
+"""VIPS-M + the callback directory (the paper's CB-All / CB-One systems).
+
+Everything race-free is inherited unchanged from :class:`VIPSProtocol` —
+the callback mechanism only touches the racy-operation handlers, exactly
+as in the paper where the callback directory is bolted onto VIPS-M without
+modifying the underlying protocol.
+
+Operation mapping (Figure 2):
+
+* ``ld_cb`` consults the callback directory *before* the LLC (1 extra
+  cycle). If its F/E bit permits, it proceeds to the LLC and returns the
+  word; otherwise it parks in the directory — **no LLC access, no retry
+  traffic** — until a write (or an eviction) wakes it with the value.
+* ``ld_through`` consumes the F/E bit of an existing entry but never
+  installs one and never blocks.
+* ``st_through``/``st_cbA``, ``st_cb1``, ``st_cb0`` perform the normal
+  write-through; the callback directory is accessed in parallel (no added
+  latency) and wakes all / one / no waiters.
+* Atomics whose load half is ``ld_cb`` can be held in the directory; when
+  woken they execute at the LLC under the MSHR lock (Section 2.6), and
+  their store half applies its st_cb* effect only if the RMW actually
+  wrote (a failed T&S wakes nobody).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.noc.messages import MsgKind
+from repro.protocols import ops
+from repro.protocols.callback.directory import CallbackDirectory
+from repro.protocols.callback.entry import Waiter
+from repro.protocols.vips.protocol import VIPSProtocol
+from repro.sim.future import Future
+
+
+class CallbackProtocol(VIPSProtocol):
+    """Self-invalidation coherence with callbacks for spin-waiting."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.cb_dirs = [
+            CallbackDirectory(self.config, self.stats, bank)
+            for bank in range(self.config.num_banks)
+        ]
+
+    # ------------------------------------------------------------- waiters
+
+    def _wake_with_value(self, bank: int, waiter: Waiter, word: int) -> None:
+        """Answer a parked callback with the word's current value."""
+        # The core was quiescent from park to wake — the window in which
+        # it could have slept (Section 2.1's power-saving observation).
+        self.stats.cb_parked_cycles += max(0, self.engine.now - waiter.since)
+        value = self.store.read(word)
+        waiter.wake(value)
+
+    def _drain_evicted(self, bank: int, evicted: List[Waiter]) -> None:
+        """Answer callbacks orphaned by a directory replacement with the
+        current value of the word they were parked on (Section 2.3.1)."""
+        for waiter in evicted:
+            self._wake_with_value(bank, waiter, waiter.word)
+
+    # --------------------------------------------------------------- ld_cb
+
+    def _op_load_cb(self, core: int, op: ops.LoadCB) -> Future:
+        future = Future()
+        bank = self.bank_of(op.addr)
+        word = self.addr_map.word_base(op.addr)
+
+        def at_bank() -> None:
+            # Callback-directory access precedes the LLC (Figure 2).
+            directory = self.cb_dirs[bank]
+            entry, evicted = directory.get_or_install(word)
+            self._drain_evicted(bank, evicted)
+            if entry.try_consume(core):
+                self.stats.cb_immediate_reads += 1
+                wait = self.config.cb_latency
+                wait += self.bank_service(bank, data=True, sync=True)
+                wait += self.llc_fill_latency(self.addr_map.line_of(op.addr))
+                self.engine.schedule(
+                    wait,
+                    lambda: self.network.send(
+                        bank, self.l1_of(core), MsgKind.DATA_WORD,
+                        lambda: future.resolve(self.store.read(word)),
+                    ),
+                )
+            else:
+                self.stats.cb_blocked_reads += 1
+                entry.park(Waiter(
+                    core,
+                    lambda value: self.network.send(
+                        bank, self.l1_of(core), MsgKind.WAKEUP,
+                        lambda: future.resolve(value)),
+                    self.engine.now,
+                ))
+                directory.note_activity()
+
+        self.network.send(self.l1_of(core), bank, MsgKind.LOAD_CB, at_bank,
+                          sync=True)
+        return future
+
+    # ---------------------------------------------------------- ld_through
+
+    def _op_load_through(self, core: int, op: ops.LoadThrough) -> Future:
+        word = self.addr_map.word_base(op.addr)
+        self.cb_dirs[self.bank_of(op.addr)].on_read_through(word, core)
+        return super()._op_load_through(core, op)
+
+    # -------------------------------------------------------------- writes
+
+    def _op_store_through(self, core: int, op: ops.StoreThrough) -> Future:
+        return self._write_through(
+            core, op.addr, op.value,
+            after=lambda bank: self._dir_write_all(bank, op.addr))
+
+    def _op_store_cb1(self, core: int, op: ops.StoreCB1) -> Future:
+        return self._write_through(
+            core, op.addr, op.value,
+            after=lambda bank: self._dir_write_one(bank, op.addr))
+
+    def _op_store_cb0(self, core: int, op: ops.StoreCB0) -> Future:
+        return self._write_through(
+            core, op.addr, op.value,
+            after=lambda bank: self._dir_write_zero(bank, op.addr))
+
+    def _dir_write_all(self, bank: int, addr: int) -> None:
+        word = self.addr_map.word_base(addr)
+        for waiter in self.cb_dirs[bank].on_write_all(word):
+            self._wake_with_value(bank, waiter, word)
+
+    def _dir_write_one(self, bank: int, addr: int) -> None:
+        word = self.addr_map.word_base(addr)
+        waiter = self.cb_dirs[bank].on_write_one(word)
+        if waiter is not None:
+            self._wake_with_value(bank, waiter, word)
+
+    def _dir_write_zero(self, bank: int, addr: int) -> None:
+        self.cb_dirs[bank].on_write_zero(self.addr_map.word_base(addr))
+
+    # ------------------------------------------------------------- atomics
+
+    def _op_atomic(self, core: int, op: ops.Atomic) -> Future:
+        if op.ld is not ops.LdKind.CB:
+            # Plain-load atomics go straight to the LLC; the store half's
+            # callback effect is applied when (and only when) the RMW
+            # writes.
+            future = Future()
+            bank = self.bank_of(op.addr)
+            word = self.addr_map.word_base(op.addr)
+            self.network.send(
+                self.l1_of(core), bank, MsgKind.ATOMIC,
+                lambda: self._mshr_acquire(
+                    word, lambda: self._exec_cb_atomic(core, bank, word, op,
+                                                       future)),
+                sync=True,
+            )
+            return future
+
+        # ld_cb atomic: consult the callback directory first; the whole RMW
+        # can be held off there (Figures 5/6, Section 2.6).
+        future = Future()
+        bank = self.bank_of(op.addr)
+        word = self.addr_map.word_base(op.addr)
+
+        def at_bank() -> None:
+            directory = self.cb_dirs[bank]
+            entry, evicted = directory.get_or_install(word)
+            self._drain_evicted(bank, evicted)
+            if entry.try_consume(core):
+                self.stats.cb_immediate_reads += 1
+                self._mshr_acquire(word, lambda: self._exec_cb_atomic(
+                    core, bank, word, op, future))
+            else:
+                self.stats.cb_blocked_reads += 1
+                entry.park(Waiter(
+                    core,
+                    lambda _value: self._mshr_acquire(
+                        word, lambda: self._exec_cb_atomic(core, bank, word,
+                                                           op, future)),
+                    self.engine.now,
+                ))
+                directory.note_activity()
+
+        self.network.send(self.l1_of(core), bank, MsgKind.LOAD_CB, at_bank,
+                          sync=True)
+        return future
+
+    def _exec_cb_atomic(self, core: int, bank: int, word: int,
+                        op: ops.Atomic, future: Future) -> None:
+        """Execute the RMW at the LLC and apply the store half's callback
+        effect if it wrote."""
+        wait = self.bank_service(bank, data=True, sync=True)
+        wait += self.config.rmw_compute_cycles
+        result = self.apply_rmw(op)
+        if result.success:
+            if op.st is ops.StKind.CBA:
+                self._dir_write_all(bank, word)
+            elif op.st is ops.StKind.CB1:
+                self._dir_write_one(bank, word)
+            elif op.st is ops.StKind.CB0:
+                self._dir_write_zero(bank, word)
+
+        def respond() -> None:
+            self._mshr_release(word)
+            self.network.send(bank, self.l1_of(core), MsgKind.DATA_WORD,
+                              lambda: future.resolve(result))
+
+        self.engine.schedule(wait, respond)

@@ -1,0 +1,6 @@
+"""Directory-based MESI: the paper's Invalidation baseline."""
+
+from repro.protocols.mesi.protocol import MESIProtocol
+from repro.protocols.mesi.states import DirEntry, L1Line, MESIState
+
+__all__ = ["DirEntry", "L1Line", "MESIProtocol", "MESIState"]

@@ -1,0 +1,66 @@
+"""MESI protocol state containers.
+
+``L1Line`` is the payload stored in the per-core L1 tag array: the MESI
+state plus a word-value snapshot taken when the line was filled (and
+updated by local writes). Spinning cores read from the snapshot, so they
+observe stale values until an invalidation arrives — exactly the local
+spin-on-cached-copy behaviour the paper contrasts with self-invalidation.
+
+``DirEntry`` is the home-bank directory record: the owner (E/M holder),
+the sharer set, and the per-line transaction serialization (``busy`` +
+FIFO of deferred request thunks). The directory is the per-line point of
+serialization, as in any MESI implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set
+
+
+class MESIState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+
+class L1Line:
+    """Per-line L1 payload: MESI state + word-value snapshot."""
+
+    __slots__ = ("state", "snapshot")
+
+    def __init__(self, state: MESIState, snapshot: Dict[int, int]) -> None:
+        self.state = state
+        # word address (aligned) -> value observed at fill time
+        self.snapshot = snapshot
+
+    @property
+    def dirty(self) -> bool:
+        return self.state is MESIState.MODIFIED
+
+    def read_word(self, word_addr: int) -> int:
+        return self.snapshot.get(word_addr, 0)
+
+    def write_word(self, word_addr: int, value: int) -> None:
+        self.snapshot[word_addr] = value
+
+
+class DirEntry:
+    """Directory record for one line at its home LLC bank."""
+
+    __slots__ = ("owner", "sharers", "busy", "queue")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None   # E/M holder
+        self.sharers: Set[int] = set()
+        self.busy = False
+        self.queue: List[Callable[[], None]] = []
+
+    @property
+    def state(self) -> str:
+        if self.owner is not None:
+            return "EM"
+        if self.sharers:
+            return "S"
+        return "I"

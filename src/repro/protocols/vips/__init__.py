@@ -1,0 +1,5 @@
+"""VIPS-M-style self-invalidation protocol (BackOff configurations)."""
+
+from repro.protocols.vips.protocol import VIPSLine, VIPSProtocol
+
+__all__ = ["VIPSLine", "VIPSProtocol"]

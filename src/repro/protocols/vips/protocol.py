@@ -1,0 +1,323 @@
+"""VIPS-M-style self-invalidation / self-downgrade protocol.
+
+This is the paper's directory-free baseline (Section 3.1, evaluated as
+``BackOff-N``):
+
+* DRF data lives in the L1 with no directory. Pages are classified
+  private/shared by first touch; at a ``self_invl`` fence (acquire) every
+  *shared* line is discarded from the L1, and at a ``self_down`` fence
+  (release) every dirty shared word is written through to the LLC.
+  Private lines are untouched by fences (VIPS-M excludes private data
+  from coherence).
+* Racy (synchronization) accesses bypass the L1: ``ld_through`` reads the
+  word at the LLC, ``st_through``/``st_cb*`` write it through, atomics
+  execute at the home bank under an MSHR lock. All of these are
+  sequentially consistent among themselves because the home bank
+  serializes them.
+* There is no callback directory here: spin-waiting re-executes
+  ``ld_through`` with exponential back-off (``BackoffWait`` ops inserted
+  by the synchronization library, with delay
+  ``base * 2**min(attempt, limit)``).
+
+The callback protocol subclasses this and overrides only the racy-op
+handlers, exactly mirroring how the paper adds the callback directory on
+top of an unchanged VIPS-M.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.mem.cache import SetAssociativeCache
+from repro.noc.messages import MsgKind
+from repro.protocols import ops
+from repro.protocols.base import CoherenceProtocol
+from repro.sim.future import Future, WaitQueue
+
+
+class VIPSLine:
+    """L1 payload: classification at fill time + dirty word tracking."""
+
+    __slots__ = ("shared", "dirty_words")
+
+    def __init__(self, shared: bool) -> None:
+        self.shared = shared
+        self.dirty_words: set = set()
+
+
+class VIPSProtocol(CoherenceProtocol):
+    """Self-invalidation + self-downgrade, LLC spinning with back-off."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        cfg = self.config
+        self.l1 = [
+            SetAssociativeCache(cfg.l1_sets, cfg.l1_ways,
+                                policy=cfg.l1_replacement)
+            for _ in range(cfg.num_cores)
+        ]
+        # Per-word atomic serialization at the home bank (LLC MSHR lock).
+        self._mshr_locked: Dict[int, WaitQueue] = {}
+
+    # --------------------------------------------------------- DRF data ops
+
+    def _op_load(self, core: int, op: ops.Load) -> Future:
+        future = Future()
+        self.stats.l1_accesses += 1
+        line = self.addr_map.line_of(op.addr)
+        cached = self.l1[self.l1_of(core)].lookup(line)
+        if cached is not None:
+            self.stats.l1_hits += 1
+            self.resolve_later(future, self.config.l1_latency,
+                               self.store.read(self.addr_map.word_base(op.addr)))
+        else:
+            self._fetch_line(core, op.addr, lambda: future.resolve(
+                self.store.read(self.addr_map.word_base(op.addr))))
+        return future
+
+    def _op_store(self, core: int, op: ops.Store) -> Future:
+        """DRF store: write-allocate in the L1, mark the word dirty; shared
+        dirty words are flushed by ``self_down`` (delayed write-through)."""
+        future = Future()
+        self.stats.l1_accesses += 1
+        line = self.addr_map.line_of(op.addr)
+        word = self.addr_map.word_base(op.addr)
+
+        def commit() -> None:
+            cached = self.l1[self.l1_of(core)].lookup(line)
+            if cached is not None:
+                cached.payload.dirty_words.add(word)
+            if op.value is not None:
+                self.store.write(word, op.value)
+            self.resolve_later(future, self.config.l1_latency)
+
+        cached = self.l1[self.l1_of(core)].lookup(line)
+        if cached is not None:
+            self.stats.l1_hits += 1
+            commit()
+        else:
+            self._fetch_line(core, op.addr, commit)
+        return future
+
+    def _fetch_line(self, core: int, addr: int, done: Callable[[], None]
+                    ) -> None:
+        """Line fetch from the LLC (no directory: always a 2-hop fill)."""
+        self.stats.l1_misses += 1
+        line = self.addr_map.line_of(addr)
+        bank = self.bank_of(addr)
+        node = self.l1_of(core)
+        shared = self.classifier.touch(addr, node)
+
+        def at_bank() -> None:
+            wait = self.bank_service(bank, data=True)
+            wait += self.llc_fill_latency(line)
+            self.engine.schedule(
+                wait,
+                lambda: self.network.send(bank, node, MsgKind.DATA,
+                                          lambda: self._fill(core, line,
+                                                             shared, done)),
+            )
+
+        self.network.send(node, bank, MsgKind.GETS, at_bank)
+
+    def _fill(self, core: int, line: int, shared: bool,
+              done: Callable[[], None]) -> None:
+        node = self.l1_of(core)
+        _entry, victim = self.l1[node].insert(line, VIPSLine(shared))
+        if victim is not None:
+            self._write_back_victim(node, victim.line, victim.payload)
+        done()
+
+    def _write_back_victim(self, core: int, line: int, payload: VIPSLine
+                           ) -> None:
+        """Evicted dirty lines write their dirty words through."""
+        if payload.dirty_words:
+            bank = line % self.config.num_banks
+            self.stats.words_written_through += len(payload.dirty_words)
+            self.stats.writebacks += 1
+            self.network.send(core, bank, MsgKind.WRITE_THROUGH, lambda: None)
+
+    # --------------------------------------------------------------- fences
+
+    def _op_fence(self, core: int, op: ops.Fence) -> Future:
+        future = Future()
+        if op.kind is ops.FenceKind.SELF_INVL:
+            # Footnote 7: self_invl also downgrades transient dirty shared
+            # words so that the invalidation cannot lose data.
+            flush_delay = self._flush_dirty_shared(core)
+            removed = self.l1[self.l1_of(core)].evict_matching(
+                lambda entry: entry.payload.shared
+            )
+            self.stats.self_invalidations += 1
+            self.stats.lines_self_invalidated += len(removed)
+            self.resolve_later(future, 1 + flush_delay)
+        elif op.kind is ops.FenceKind.SELF_DOWN:
+            flush_delay = self._flush_dirty_shared(core)
+            self.stats.self_downgrades += 1
+            self.resolve_later(future, 1 + flush_delay)
+        else:
+            raise ValueError(f"unknown fence: {op.kind}")
+        return future
+
+    def _flush_dirty_shared(self, core: int) -> int:
+        """Write all dirty shared words through to their home banks.
+
+        Returns the fence's completion delay: the write-throughs drain in
+        parallel per bank; the fence waits for the slowest ack round-trip.
+        """
+        max_latency = 0
+        node = self.l1_of(core)
+        for entry in self.l1[node]:
+            payload: VIPSLine = entry.payload
+            if not payload.shared or not payload.dirty_words:
+                continue
+            bank = entry.line % self.config.num_banks
+            count = len(payload.dirty_words)
+            self.stats.words_written_through += count
+            payload.dirty_words.clear()
+            # One word-sized write-through message per dirty word plus one
+            # ack per line (merged acks), as in VIPS-M's word-merged flush.
+            for _ in range(count):
+                self.network.send(node, bank, MsgKind.WRITE_THROUGH,
+                                  lambda: None)
+            latency = (self.network.message_latency(node, bank,
+                                                    MsgKind.WRITE_THROUGH)
+                       + self.bank_service(bank, data=True)
+                       + self.network.message_latency(bank, node, MsgKind.ACK))
+            self.network.send(bank, node, MsgKind.ACK, lambda: None)
+            max_latency = max(max_latency, latency)
+        return max_latency
+
+    # ------------------------------------------------------------- racy ops
+
+    def _op_load_through(self, core: int, op: ops.LoadThrough) -> Future:
+        """Racy load: bypass the L1, read the word at the home bank."""
+        future = Future()
+        bank = self.bank_of(op.addr)
+        word = self.addr_map.word_base(op.addr)
+
+        def at_bank() -> None:
+            wait = self.bank_service(bank, data=True, sync=True)
+            wait += self.llc_fill_latency(self.addr_map.line_of(op.addr))
+            self.engine.schedule(
+                wait,
+                lambda: self.network.send(
+                    bank, self.l1_of(core), MsgKind.DATA_WORD,
+                    lambda: future.resolve(self.store.read(word)),
+                ),
+            )
+
+        self.stats.llc_spin_probes += 1
+        self.network.send(self.l1_of(core), bank, MsgKind.LOAD_THROUGH,
+                          at_bank, sync=True)
+        return future
+
+    def _op_load_cb(self, core: int, op: ops.LoadCB) -> Future:
+        """Without a callback directory, ld_cb degenerates to ld_through
+        (the synchronization library only emits it with back-off)."""
+        return self._op_load_through(core, ops.LoadThrough(op.addr))
+
+    def _write_through(self, core: int, addr: int, value: int,
+                       after: Optional[Callable[[int], None]] = None
+                       ) -> Future:
+        """Common path of st_through / st_cb0 / st_cb1 / st_cbA."""
+        future = Future()
+        bank = self.bank_of(addr)
+        word = self.addr_map.word_base(addr)
+
+        def at_bank() -> None:
+            wait = self.bank_service(bank, data=True, sync=True)
+            self.store.write(word, value)
+            if after is not None:
+                after(bank)
+            self.engine.schedule(
+                wait,
+                lambda: self.network.send(bank, self.l1_of(core), MsgKind.ACK,
+                                          lambda: future.resolve(None)),
+            )
+
+        self.network.send(self.l1_of(core), bank, MsgKind.STORE_THROUGH,
+                          at_bank, sync=True)
+        return future
+
+    def _op_store_through(self, core: int, op: ops.StoreThrough) -> Future:
+        return self._write_through(core, op.addr, op.value)
+
+    def _op_store_cb1(self, core: int, op: ops.StoreCB1) -> Future:
+        return self._write_through(core, op.addr, op.value)
+
+    def _op_store_cb0(self, core: int, op: ops.StoreCB0) -> Future:
+        return self._write_through(core, op.addr, op.value)
+
+    # -------------------------------------------------------------- atomics
+
+    def _op_atomic(self, core: int, op: ops.Atomic) -> Future:
+        """RMW at the home bank under the word's MSHR lock (Section 2.6)."""
+        future = Future()
+        bank = self.bank_of(op.addr)
+        word = self.addr_map.word_base(op.addr)
+
+        def at_bank() -> None:
+            self._mshr_acquire(word, lambda: self._exec_atomic(
+                core, bank, word, op, future))
+
+        self.network.send(self.l1_of(core), bank, MsgKind.ATOMIC, at_bank,
+                          sync=True)
+        return future
+
+    def _exec_atomic(self, core: int, bank: int, word: int, op: ops.Atomic,
+                     future: Future) -> None:
+        wait = self.bank_service(bank, data=True, sync=True)
+        wait += self.config.rmw_compute_cycles
+        result = self.apply_rmw(op)
+
+        def respond() -> None:
+            self._mshr_release(word)
+            self.network.send(bank, self.l1_of(core), MsgKind.DATA_WORD,
+                              lambda: future.resolve(result))
+
+        self.engine.schedule(wait, respond)
+
+    def _mshr_acquire(self, word: int, thunk: Callable[[], None]) -> None:
+        queue = self._mshr_locked.get(word)
+        if queue is None:
+            self._mshr_locked[word] = WaitQueue()
+            thunk()
+        else:
+            queue.park().add_callback(lambda _v: thunk())
+
+    def _mshr_release(self, word: int) -> None:
+        queue = self._mshr_locked.get(word)
+        if queue is None:
+            raise RuntimeError(f"MSHR release without lock: {word:#x}")
+        if queue:
+            queue.wake_one()
+        else:
+            del self._mshr_locked[word]
+
+    # ------------------------------------------------------- spinning & data
+
+    def _op_spin_until(self, core: int, op: ops.SpinUntil) -> Future:
+        raise TypeError("SpinUntil (local L1 spinning) requires the MESI "
+                        "baseline; self-invalidation protocols spin on the "
+                        "LLC via ld_through/ld_cb")
+
+    def _op_data_burst(self, core: int, op: ops.DataBurst) -> Future:
+        future = Future()
+        accesses = list(op.accesses)
+
+        def step() -> None:
+            if not accesses:
+                if op.extra_hits:
+                    self.stats.l1_accesses += op.extra_hits
+                    self.stats.l1_hits += op.extra_hits
+                self.resolve_later(future, max(1, op.extra_hits))
+                return
+            access = accesses.pop(0)
+            inner = (self._op_store(core, ops.Store(access.addr))
+                     if access.write else self._op_load(core,
+                                                        ops.Load(access.addr)))
+            inner.add_callback(lambda _v: step())
+
+        step()
+        return future

@@ -1,0 +1,14 @@
+"""Discrete-event simulation core: engine, futures, statistics."""
+
+from repro.sim.engine import DeadlockError, Engine, SimulationError
+from repro.sim.future import Future, WaitQueue
+from repro.sim.stats import Stats
+
+__all__ = [
+    "DeadlockError",
+    "Engine",
+    "Future",
+    "SimulationError",
+    "Stats",
+    "WaitQueue",
+]

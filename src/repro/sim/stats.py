@@ -1,0 +1,189 @@
+"""Simulation statistics.
+
+One :class:`Stats` object per machine run collects every metric the paper
+reports:
+
+* L1 accesses (the MESI local-spin energy driver, Figure 22),
+* LLC accesses (Figures 1 and 20),
+* network traffic in flit-hops and bytes (Figures 1, 21, 23),
+* per-synchronization-episode latency (Figures 1 and 20),
+* message counts by kind (the 3-vs-5 messages claim of Section 2.1),
+* callback-directory activity (installs, evictions, wakeups).
+
+Counters are plain integers bumped by the protocol/network code; episode
+latencies are appended to per-category lists by the sync library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Stats:
+    """Aggregated counters for one simulation run."""
+
+    # Cache hierarchy
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_accesses: int = 0
+    llc_tag_accesses: int = 0
+    llc_data_accesses: int = 0
+    llc_misses: int = 0
+    mem_accesses: int = 0
+
+    # LLC accesses attributable to synchronization (racy) operations only —
+    # this is the metric plotted in Figures 1 and 20.
+    llc_sync_accesses: int = 0
+
+    # Network
+    messages: int = 0
+    flits: int = 0
+    flit_hops: int = 0
+    byte_hops: int = 0
+
+    # Coherence events (MESI)
+    invalidations_sent: int = 0
+    invalidation_acks: int = 0
+    writebacks: int = 0
+    forwards: int = 0
+
+    # Self-invalidation protocol events
+    self_invalidations: int = 0
+    self_downgrades: int = 0
+    lines_self_invalidated: int = 0
+    words_written_through: int = 0
+
+    # Callback directory
+    cb_installs: int = 0
+    cb_evictions: int = 0
+    cb_eviction_wakeups: int = 0
+    cb_blocked_reads: int = 0
+    cb_immediate_reads: int = 0
+    cb_wakeups: int = 0
+    # Peak number of entries with pending callbacks in any one bank —
+    # the empirical justification for the 4-entry directory (Section 2.2:
+    # "ongoing races at any point in time typically concern very few
+    # addresses").
+    cb_max_active_entries: int = 0
+
+    # Spinning
+    spin_iterations: int = 0
+    backoff_cycles: int = 0
+    llc_spin_probes: int = 0
+    # Core-cycles spent parked in the callback directory: the paper's
+    # Section 2.1 notes a parked core "can easily go into a power-saving
+    # mode while waiting" — this counter feeds that extension
+    # (repro.energy.power).
+    cb_parked_cycles: int = 0
+
+    # Per-message-kind counts, e.g. {"GetS": 12, "Inv": 4, ...}
+    msg_kinds: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    # Synchronization episode latencies, keyed by category, e.g.
+    # {"lock_acquire": [123, 88, ...], "barrier_wait": [...]}.
+    episode_latencies: Dict[str, List[int]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    # Which hardware thread completed each episode (parallel to
+    # episode_latencies; -1 when the caller did not say). Feeds the
+    # fairness analysis (repro.harness.fairness).
+    episode_owners: Dict[str, List[int]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    # Filled in by the machine at the end of the run.
+    cycles: int = 0
+
+    def record_message(self, kind: str, flits: int, hops: int, size_bytes: int) -> None:
+        self.messages += 1
+        self.flits += flits
+        self.flit_hops += flits * hops
+        self.byte_hops += size_bytes * hops
+        self.msg_kinds[kind] += 1
+
+    def record_episode(self, category: str, latency: int,
+                       tid: int = -1) -> None:
+        self.episode_latencies[category].append(latency)
+        self.episode_owners[category].append(tid)
+
+    def episode_mean(self, category: str) -> float:
+        samples = self.episode_latencies.get(category)
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def episode_total(self, category: str) -> int:
+        return sum(self.episode_latencies.get(category, ()))
+
+    def episode_percentile(self, category: str, pct: float) -> float:
+        """Latency percentile (nearest-rank) of one episode category.
+
+        Tail latency matters for synchronization: Figure 1's point is
+        that back-off's *occasional* huge overshoot (the p99, not the
+        mean) is what "misses the target".
+        """
+        samples = sorted(self.episode_latencies.get(category, ()))
+        if not samples:
+            return 0.0
+        if not (0.0 < pct <= 100.0):
+            raise ValueError(f"percentile out of range: {pct}")
+        rank = max(1, math.ceil(pct / 100.0 * len(samples)))
+        return float(samples[rank - 1])
+
+    def episode_summary(self, category: str) -> Dict[str, float]:
+        """n/mean/p50/p95/p99/max of one episode category."""
+        samples = self.episode_latencies.get(category, ())
+        if not samples:
+            return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "n": len(samples),
+            "mean": sum(samples) / len(samples),
+            "p50": self.episode_percentile(category, 50),
+            "p95": self.episode_percentile(category, 95),
+            "p99": self.episode_percentile(category, 99),
+            "max": float(max(samples)),
+        }
+
+    def merge(self, other: "Stats") -> None:
+        """Accumulate another run's counters into this one (for suites)."""
+        for name in (
+            "l1_accesses", "l1_hits", "l1_misses", "llc_accesses",
+            "llc_tag_accesses", "llc_data_accesses", "llc_misses",
+            "mem_accesses", "llc_sync_accesses", "messages", "flits",
+            "flit_hops", "byte_hops", "invalidations_sent",
+            "invalidation_acks", "writebacks", "forwards",
+            "self_invalidations", "self_downgrades",
+            "lines_self_invalidated", "words_written_through",
+            "cb_installs", "cb_evictions", "cb_eviction_wakeups",
+            "cb_blocked_reads", "cb_immediate_reads", "cb_wakeups",
+            "spin_iterations", "backoff_cycles", "llc_spin_probes",
+            "cb_parked_cycles", "cycles",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.cb_max_active_entries = max(self.cb_max_active_entries,
+                                         other.cb_max_active_entries)
+        for kind, count in other.msg_kinds.items():
+            self.msg_kinds[kind] += count
+        for category, samples in other.episode_latencies.items():
+            self.episode_latencies[category].extend(samples)
+        for category, owners in other.episode_owners.items():
+            self.episode_owners[category].extend(owners)
+
+    def summary(self) -> Dict[str, int]:
+        """The headline counters as a plain dict (for reports/tests)."""
+        return {
+            "cycles": self.cycles,
+            "l1_accesses": self.l1_accesses,
+            "llc_accesses": self.llc_accesses,
+            "llc_sync_accesses": self.llc_sync_accesses,
+            "messages": self.messages,
+            "flit_hops": self.flit_hops,
+            "byte_hops": self.byte_hops,
+            "mem_accesses": self.mem_accesses,
+        }

@@ -1,0 +1,40 @@
+"""Synchronization algorithms in MESI / VIPS / callback encodings."""
+
+from repro.sync.base import SyncPrimitive, SyncStyle, style_for
+from repro.sync.clh import CLHLock
+from repro.sync.dissemination_barrier import DisseminationBarrier
+from repro.sync.mcs import MCSLock
+from repro.sync.rwlock import RWLock
+from repro.sync.registry import (BARRIERS, LOCKS, NAIVE_SYNC, SCALABLE_SYNC,
+                                 make_barrier, make_lock, make_signal_wait,
+                                 sync_kit)
+from repro.sync.signal_wait import SignalWait
+from repro.sync.sr_barrier import SRBarrier
+from repro.sync.tas import TASLock
+from repro.sync.ticket import TicketLock
+from repro.sync.treesr_barrier import TreeSRBarrier
+from repro.sync.ttas import TTASLock
+
+__all__ = [
+    "BARRIERS",
+    "CLHLock",
+    "DisseminationBarrier",
+    "LOCKS",
+    "MCSLock",
+    "RWLock",
+    "NAIVE_SYNC",
+    "SCALABLE_SYNC",
+    "SRBarrier",
+    "SignalWait",
+    "SyncPrimitive",
+    "SyncStyle",
+    "TASLock",
+    "TTASLock",
+    "TicketLock",
+    "TreeSRBarrier",
+    "make_barrier",
+    "make_lock",
+    "make_signal_wait",
+    "style_for",
+    "sync_kit",
+]

@@ -1,0 +1,70 @@
+"""Synchronization library plumbing.
+
+Every algorithm in this package is encoded four ways, exactly following
+the paper's Figures 8-19:
+
+* ``MESI`` — unfenced SC code: plain loads/stores/atomics, local spinning
+  on the L1 copy (left-hand columns of Figures 8/10/12/14/16/18);
+* ``VIPS`` — fenced self-invalidation code: through-ops, LLC spinning with
+  exponential back-off (right-hand columns of the same figures);
+* ``CB_ALL`` — callback-all encodings (Figures 9/11/13/15/17/19 left);
+* ``CB_ONE`` — callback-one encodings using write_CB1/write_CB0
+  (Figures 9/11/19 right; CLH/TreeSR spin-waiting has a single waiter per
+  word, so the two callback modes share one encoding there).
+
+The algorithms are generator methods: they yield ops and receive results,
+composing with workload generators via ``yield from``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.config import CallbackMode, Protocol, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.layout import MemoryLayout
+
+
+class SyncStyle(enum.Enum):
+    """Which encoding of each algorithm the threads execute."""
+
+    MESI = "mesi"
+    VIPS = "vips"
+    CB_ALL = "cb_all"
+    CB_ONE = "cb_one"
+
+
+def style_for(config: SystemConfig) -> SyncStyle:
+    """The synchronization encoding matching a machine configuration."""
+    if config.protocol is Protocol.MESI:
+        return SyncStyle.MESI
+    if config.protocol is Protocol.VIPS_BACKOFF:
+        return SyncStyle.VIPS
+    if config.callback_mode is CallbackMode.ALL:
+        return SyncStyle.CB_ALL
+    return SyncStyle.CB_ONE
+
+
+class SyncPrimitive:
+    """Base for locks/barriers: owns its memory and knows its encoding."""
+
+    def __init__(self, style: SyncStyle) -> None:
+        self.style = style
+        self._ready = False
+
+    def setup(self, layout: "MemoryLayout", num_threads: int) -> None:
+        """Allocate this primitive's words; call once before use."""
+        raise NotImplementedError
+
+    def initial_values(self) -> dict:
+        """Word values that must be seeded into the machine's word store
+        before the threads start (e.g. a barrier counter = thread count)."""
+        return {}
+
+    def _require_ready(self) -> None:
+        if not self._ready:
+            raise RuntimeError(
+                f"{type(self).__name__} used before setup(layout, n)"
+            )

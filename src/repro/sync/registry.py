@@ -1,0 +1,79 @@
+"""Factories for synchronization primitives by name.
+
+The evaluation sweeps lock and barrier algorithms (Section 5.2): *naïve*
+synchronization is T&T&S + SR barrier; *scalable* is CLH + TreeSR
+barrier. These helpers build primitives matching a machine configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.sync.base import SyncPrimitive, SyncStyle, style_for
+from repro.sync.clh import CLHLock
+from repro.sync.dissemination_barrier import DisseminationBarrier
+from repro.sync.mcs import MCSLock
+from repro.sync.signal_wait import SignalWait
+from repro.sync.sr_barrier import SRBarrier
+from repro.sync.tas import TASLock
+from repro.sync.ticket import TicketLock
+from repro.sync.treesr_barrier import TreeSRBarrier
+from repro.sync.ttas import TTASLock
+
+#: The paper's locks (tas/ttas/clh) plus two library extensions: the MCS
+#: queue lock and the ticket lock (both from the paper's reference [19]).
+LOCKS = ("tas", "ttas", "clh", "mcs", "ticket")
+#: The paper's barriers (sr/treesr) plus the dissemination barrier [19].
+BARRIERS = ("sr", "treesr", "dissemination")
+
+#: (lock, barrier) pairs of the paper's two synchronization regimes.
+NAIVE_SYNC = ("ttas", "sr")
+SCALABLE_SYNC = ("clh", "treesr")
+
+
+def make_lock(name: str, style: SyncStyle) -> SyncPrimitive:
+    if name == "tas":
+        return TASLock(style)
+    if name == "ttas":
+        return TTASLock(style)
+    if name == "clh":
+        return CLHLock(style)
+    if name == "mcs":
+        return MCSLock(style)
+    if name == "ticket":
+        return TicketLock(style)
+    raise ValueError(f"unknown lock: {name!r} (choose from {LOCKS})")
+
+
+def make_barrier(name: str, style: SyncStyle, num_threads: int,
+                 lock: Optional[SyncPrimitive] = None) -> SyncPrimitive:
+    if name == "sr":
+        return SRBarrier(style, num_threads, lock=lock)
+    if name == "treesr":
+        return TreeSRBarrier(style, num_threads)
+    if name == "dissemination":
+        return DisseminationBarrier(style, num_threads)
+    raise ValueError(f"unknown barrier: {name!r} (choose from {BARRIERS})")
+
+
+def make_signal_wait(style: SyncStyle) -> SignalWait:
+    return SignalWait(style)
+
+
+def sync_kit(config: SystemConfig, lock_name: str, barrier_name: str,
+             num_threads: int):
+    """Build the (lock, barrier) pair for a configuration.
+
+    The SR barrier gets its own companion lock of the same algorithm, per
+    the Splash-2 POSIX implementation the paper follows (Section 5.2).
+    """
+    style = style_for(config)
+    lock = make_lock(lock_name, style)
+    if barrier_name == "sr":
+        barrier_lock = make_lock(lock_name, style)
+        barrier = make_barrier(barrier_name, style, num_threads,
+                               lock=barrier_lock)
+    else:
+        barrier = make_barrier(barrier_name, style, num_threads)
+    return lock, barrier

@@ -1,0 +1,91 @@
+"""Test&Set spin lock (paper Figures 8 and 9).
+
+MESI (Figure 8 left)::
+
+    acq: t&s $r, L, 0, 1
+         bnez $r, acq
+         /* CS */
+    rel: st L, 0
+
+VIPS (Figure 8 right) adds self_invl/self_down fences, LLC atomics, and
+back-off between retries. Callback-all (Figure 9 left) guards with a
+non-callback T&S, then spins in a callback T&S; release is st_through.
+Callback-one (Figure 9 right) uses {ld}&{st_cb0} / {ld_cb}&{st_cb0} and
+releases with st_cb1.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.ops import (Atomic, AtomicKind, BackoffWait, Fence,
+                                 FenceKind, LdKind, StKind, Store, StoreCB1,
+                                 StoreThrough)
+from repro.sync.base import SyncPrimitive, SyncStyle
+
+
+class TASLock(SyncPrimitive):
+    """Plain Test&Set lock in all four encodings."""
+
+    def __init__(self, style: SyncStyle) -> None:
+        super().__init__(style)
+        self.addr = -1
+
+    def setup(self, layout, num_threads: int) -> None:
+        self.addr = layout.alloc_sync_word()
+        self._ready = True
+
+    # ---------------------------------------------------------------- acquire
+
+    def acquire(self, ctx):
+        self._require_ready()
+        start = ctx.now
+        if self.style is SyncStyle.MESI:
+            yield from self._acquire_mesi()
+        elif self.style is SyncStyle.VIPS:
+            yield from self._acquire_vips()
+        elif self.style is SyncStyle.CB_ALL:
+            yield from self._acquire_cb(StKind.CBA)
+        else:
+            yield from self._acquire_cb(StKind.CB0)
+        ctx.record_episode("lock_acquire", start)
+
+    def _acquire_mesi(self):
+        while True:
+            result = yield Atomic(self.addr, AtomicKind.TAS, (0, 1))
+            if result.success:
+                return
+
+    def _acquire_vips(self):
+        attempt = 0
+        while True:
+            result = yield Atomic(self.addr, AtomicKind.TAS, (0, 1))
+            if result.success:
+                break
+            yield BackoffWait(attempt)
+            attempt += 1
+        yield Fence(FenceKind.SELF_INVL)
+
+    def _acquire_cb(self, st_kind: StKind):
+        # Guard: one non-callback T&S (Section 3.3 forward progress).
+        result = yield Atomic(self.addr, AtomicKind.TAS, (0, 1),
+                              ld=LdKind.PLAIN, st=st_kind)
+        while not result.success:
+            # Callback T&S: the read half blocks in the directory.
+            result = yield Atomic(self.addr, AtomicKind.TAS, (0, 1),
+                                  ld=LdKind.CB, st=st_kind)
+        yield Fence(FenceKind.SELF_INVL)
+
+    # ---------------------------------------------------------------- release
+
+    def release(self, ctx):
+        self._require_ready()
+        if self.style is SyncStyle.MESI:
+            yield Store(self.addr, 0)
+        elif self.style is SyncStyle.VIPS:
+            yield Fence(FenceKind.SELF_DOWN)
+            yield StoreThrough(self.addr, 0)
+        elif self.style is SyncStyle.CB_ALL:
+            yield Fence(FenceKind.SELF_DOWN)
+            yield StoreThrough(self.addr, 0)
+        else:
+            yield Fence(FenceKind.SELF_DOWN)
+            yield StoreCB1(self.addr, 0)

@@ -1,0 +1,1 @@
+"""Command-line utilities (single-run reports)."""

@@ -1,0 +1,85 @@
+"""Compare two saved figure-result JSON files (regression diffing).
+
+Usage::
+
+    python -m repro.tools.compare results/a results/b --name fig21
+    repro-compare results/a results/b --name fig21 --tolerance 0.05
+
+Walks both structures in parallel, reporting numeric values whose
+relative difference exceeds the tolerance, plus keys present on one side
+only. Exit code 1 if anything diverged (CI-friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Optional
+
+from repro.harness.results_io import load_result
+
+
+def _rel_diff(a: float, b: float) -> float:
+    denominator = max(abs(a), abs(b), 1e-12)
+    return abs(a - b) / denominator
+
+
+def diff_results(a: Any, b: Any, tolerance: float,
+                 path: str = "") -> List[str]:
+    """All divergences between two result structures, as readable lines."""
+    out: List[str] = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}/{key}"
+            if key not in a:
+                out.append(f"{sub}: only in B")
+            elif key not in b:
+                out.append(f"{sub}: only in A")
+            else:
+                out.extend(diff_results(a[key], b[key], tolerance, sub))
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} vs {len(b)}")
+            return out
+        for index, (x, y) in enumerate(zip(a, b)):
+            out.extend(diff_results(x, y, tolerance, f"{path}[{index}]"))
+        return out
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+            and not isinstance(a, bool) and not isinstance(b, bool):
+        if _rel_diff(float(a), float(b)) > tolerance:
+            out.append(f"{path}: {a} vs {b} "
+                       f"({100 * _rel_diff(float(a), float(b)):.1f}%)")
+        return out
+    if a != b:
+        out.append(f"{path}: {a!r} vs {b!r}")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Diff two saved figure-result JSON directories.",
+    )
+    parser.add_argument("dir_a")
+    parser.add_argument("dir_b")
+    parser.add_argument("--name", required=True,
+                        help="result name, e.g. fig21")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative tolerance for numbers (default 2%%)")
+    args = parser.parse_args(argv)
+
+    a = load_result(args.dir_a, args.name)
+    b = load_result(args.dir_b, args.name)
+    divergences = diff_results(a, b, args.tolerance)
+    if not divergences:
+        print(f"{args.name}: identical within {args.tolerance:.1%}")
+        return 0
+    print(f"{args.name}: {len(divergences)} divergence(s):")
+    for line in divergences:
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

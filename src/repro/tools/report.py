@@ -1,0 +1,115 @@
+"""Single-run inspector CLI.
+
+Runs one (workload, configuration) simulation and prints everything the
+simulator knows about it: cycle count, cache/LLC/network counters,
+message mix, synchronization episode statistics, energy breakdown, and
+the power-saving report.
+
+Usage::
+
+    python -m repro.tools.report --app barnes --config CB-One --cores 16
+    python -m repro.tools.report --ubench lock:clh --config BackOff-10
+    repro-report --app streamcluster --config Invalidation --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import PAPER_CONFIGS, config_for
+from repro.energy.model import energy_of
+from repro.energy.power import core_power_report
+from repro.harness.runner import run_workload
+from repro.workloads.base import Workload
+from repro.workloads.microbench import (BarrierMicrobench, LockMicrobench,
+                                        SignalWaitMicrobench)
+from repro.workloads.suite import APP_NAMES, get_workload
+
+
+def _build_workload(args: argparse.Namespace) -> Workload:
+    if args.app:
+        return get_workload(args.app, lock_name=args.lock,
+                            barrier_name=args.barrier, scale=args.scale)
+    kind, _, detail = args.ubench.partition(":")
+    if kind == "lock":
+        return LockMicrobench(detail or "ttas", iterations=args.iterations)
+    if kind == "barrier":
+        return BarrierMicrobench(detail or "treesr",
+                                 episodes=args.iterations)
+    if kind == "signal-wait":
+        return SignalWaitMicrobench(rounds=args.iterations)
+    raise SystemExit(f"unknown microbenchmark {args.ubench!r} "
+                     "(lock:NAME | barrier:NAME | signal-wait)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Run one simulation and print a full report.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--app", choices=APP_NAMES,
+                        help="application stand-in to run")
+    target.add_argument("--ubench",
+                        help="microbenchmark: lock:NAME, barrier:NAME, "
+                             "or signal-wait")
+    parser.add_argument("--config", default="CB-One",
+                        help=f"one of {PAPER_CONFIGS}")
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--lock", default="clh")
+    parser.add_argument("--barrier", default="treesr")
+    parser.add_argument("--iterations", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    config = config_for(args.config, num_cores=args.cores)
+    workload = _build_workload(args)
+    result = run_workload(config, workload)
+    stats = result.stats
+
+    print(f"=== {workload.name} under {args.config} "
+          f"({args.cores} cores) ===")
+    print(f"cycles:               {stats.cycles}")
+    print(f"L1 accesses:          {stats.l1_accesses} "
+          f"(hits {stats.l1_hits}, misses {stats.l1_misses})")
+    print(f"LLC accesses:         {stats.llc_accesses} "
+          f"(sync {stats.llc_sync_accesses}, misses {stats.llc_misses})")
+    print(f"memory accesses:      {stats.mem_accesses}")
+    print(f"messages:             {stats.messages} "
+          f"({stats.flit_hops} flit-hops, {stats.byte_hops} byte-hops)")
+    if stats.msg_kinds:
+        mix = ", ".join(f"{k}:{v}" for k, v in
+                        sorted(stats.msg_kinds.items()))
+        print(f"message mix:          {mix}")
+    print(f"invalidations:        {stats.invalidations_sent} "
+          f"(acks {stats.invalidation_acks}, fwds {stats.forwards})")
+    print(f"self-invalidations:   {stats.self_invalidations} "
+          f"({stats.lines_self_invalidated} lines); write-throughs: "
+          f"{stats.words_written_through} words")
+    print(f"spin iterations:      {stats.spin_iterations}; "
+          f"back-off cycles: {stats.backoff_cycles}")
+    print(f"callback directory:   installs {stats.cb_installs}, "
+          f"blocked {stats.cb_blocked_reads}, "
+          f"immediate {stats.cb_immediate_reads}, "
+          f"wakeups {stats.cb_wakeups}, evictions {stats.cb_evictions}, "
+          f"peak active/bank {stats.cb_max_active_entries}")
+    for category, samples in sorted(stats.episode_latencies.items()):
+        if samples:
+            print(f"episode '{category}':   n={len(samples)} "
+                  f"mean={sum(samples) / len(samples):.1f} "
+                  f"max={max(samples)}")
+    energy = result.energy
+    print("energy (nJ):          "
+          + ", ".join(f"{k}={v / 1000:.1f}"
+                      for k, v in energy.as_dict().items()))
+    power = core_power_report(stats, config)
+    print(f"power extension:      sleepable "
+          f"{100 * power.sleepable_fraction:.1f}% of core-cycles, "
+          f"core-energy saving {100 * power.saving_fraction:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

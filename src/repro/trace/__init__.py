@@ -1,0 +1,19 @@
+"""Trace recording and analysis (race locality, op mixes)."""
+
+from repro.trace.analysis import (RaceConcurrency, concurrent_races,
+                                  hottest_words, op_mix, racy_fraction)
+from repro.trace.recorder import TraceEvent, TraceRecorder, load_trace
+from repro.trace.replay import replay, replay_bodies
+
+__all__ = [
+    "RaceConcurrency",
+    "TraceEvent",
+    "TraceRecorder",
+    "concurrent_races",
+    "hottest_words",
+    "load_trace",
+    "op_mix",
+    "racy_fraction",
+    "replay",
+    "replay_bodies",
+]

@@ -1,0 +1,79 @@
+"""Trace analysis.
+
+The headline analysis is :func:`concurrent_races`: the paper justifies
+the tiny callback directory by arguing that "'ongoing' races at any point
+in time typically concern very few addresses" (Section 2.2). Given a
+trace, we slide a window over the racy operations and count, per window,
+how many distinct words were touched racily by more than one core —
+exactly the set of words that would want a callback-directory entry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.trace.recorder import TraceEvent
+
+
+def op_mix(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """How many operations of each kind the trace contains."""
+    return dict(Counter(e.kind for e in events))
+
+
+def hottest_words(events: Sequence[TraceEvent], top: int = 10,
+                  word_bytes: int = 8) -> List[tuple]:
+    """The most racily-accessed words, as (word_addr, count) pairs."""
+    counts: Counter = Counter()
+    for e in events:
+        if e.is_racy and e.addr >= 0:
+            counts[(e.addr // word_bytes) * word_bytes] += 1
+    return counts.most_common(top)
+
+
+@dataclass
+class RaceConcurrency:
+    """Result of :func:`concurrent_races`."""
+
+    max_concurrent: int
+    mean_concurrent: float
+    windows: int
+
+
+def concurrent_races(events: Sequence[TraceEvent], window: int = 1000,
+                     word_bytes: int = 8) -> RaceConcurrency:
+    """Distinct multi-core racy words per time window.
+
+    A word counts as "racing" in a window if at least two different
+    cores issued racy operations to it within that window. The maximum
+    over windows bounds how many callback-directory entries (machine-
+    wide) could ever be useful simultaneously.
+    """
+    racy = [e for e in events if e.is_racy and e.addr >= 0]
+    if not racy:
+        return RaceConcurrency(0, 0.0, 0)
+    horizon = max(e.time for e in racy)
+    buckets: Dict[int, Dict[int, set]] = defaultdict(lambda: defaultdict(set))
+    for e in racy:
+        word = (e.addr // word_bytes) * word_bytes
+        buckets[e.time // window][word].add(e.core)
+    counts = []
+    for index in range(horizon // window + 1):
+        words = buckets.get(index, {})
+        counts.append(sum(1 for cores in words.values() if len(cores) >= 2))
+    return RaceConcurrency(
+        max_concurrent=max(counts),
+        mean_concurrent=sum(counts) / len(counts),
+        windows=len(counts),
+    )
+
+
+def racy_fraction(events: Sequence[TraceEvent]) -> float:
+    """Access-weighted share of racy (sync) accesses — small in DRF
+    programs, which is why the callback directory can be tiny. Weighted
+    so that one DataBurst counts as its many data accesses."""
+    total = sum(e.weight for e in events)
+    if total == 0:
+        return 0.0
+    return sum(e.weight for e in events if e.is_racy) / total

@@ -1,0 +1,118 @@
+"""Memory-operation trace recording.
+
+Attach a :class:`TraceRecorder` to a machine *before* spawning threads
+and every operation the cores issue is appended to an in-memory trace
+(and optionally streamed to a JSONL file). Traces feed the analysis in
+:mod:`repro.trace.analysis` — most interestingly the measurement behind
+the paper's directory-sizing argument (Section 2.2): how many addresses
+are ever racing at the same time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, List, Optional
+
+from repro.core.machine import Machine
+from repro.protocols import ops
+
+#: Op-class tags recorded in the trace.
+RACY_KINDS = {"ld_through", "ld_cb", "st_through", "st_cb1", "st_cb0",
+              "atomic"}
+
+
+@dataclass
+class TraceEvent:
+    """One issued operation.
+
+    ``weight`` is the number of individual accesses the operation stands
+    for — 1 for everything except a :class:`~repro.protocols.ops.DataBurst`,
+    which batches many data accesses into one op.
+    """
+
+    time: int
+    core: int
+    kind: str
+    addr: int
+    weight: int = 1
+    #: Written value for stores; [kind_name, *operands] for atomics;
+    #: None otherwise. Enables replay (repro.trace.replay).
+    detail: Optional[list] = None
+
+    @property
+    def is_racy(self) -> bool:
+        return self.kind in RACY_KINDS
+
+
+_KIND_OF = {
+    ops.Load: "ld",
+    ops.Store: "st",
+    ops.LoadThrough: "ld_through",
+    ops.LoadCB: "ld_cb",
+    ops.StoreThrough: "st_through",
+    ops.StoreCB1: "st_cb1",
+    ops.StoreCB0: "st_cb0",
+    ops.Atomic: "atomic",
+    ops.Fence: "fence",
+    ops.SpinUntil: "spin",
+}
+
+
+def _classify(op: ops.Op) -> Optional[TraceEvent]:
+    if isinstance(op, ops.DataBurst):
+        weight = len(op.accesses) + op.extra_hits
+        return TraceEvent(time=0, core=0, kind="data", addr=-1,
+                          weight=max(1, weight))
+    kind = _KIND_OF.get(type(op))
+    if kind is None:
+        return None
+    addr = getattr(op, "addr", -1)
+    detail = None
+    if isinstance(op, ops.Atomic):
+        detail = [op.kind.name, op.ld.name, op.st.name,
+                  list(op.operands)]
+    elif isinstance(op, (ops.Store, ops.StoreThrough, ops.StoreCB1,
+                         ops.StoreCB0)):
+        detail = [op.value]
+    elif isinstance(op, ops.Fence):
+        detail = [op.kind.name]
+    return TraceEvent(time=0, core=0, kind=kind, addr=addr, detail=detail)
+
+
+class TraceRecorder:
+    """Wraps a machine's protocol to log every issued operation."""
+
+    def __init__(self, machine: Machine,
+                 stream: Optional[IO[str]] = None) -> None:
+        self.machine = machine
+        self.events: List[TraceEvent] = []
+        self._stream = stream
+        self._original_issue = machine.protocol.issue
+        machine.protocol.issue = self._issue  # type: ignore[method-assign]
+
+    def _issue(self, core: int, op: ops.Op):
+        event = _classify(op)
+        if event is not None:
+            event.time = self.machine.engine.now
+            event.core = core
+            self.events.append(event)
+            if self._stream is not None:
+                self._stream.write(json.dumps(asdict(event)) + "\n")
+        return self._original_issue(core, op)
+
+    def detach(self) -> List[TraceEvent]:
+        """Stop recording; returns the trace."""
+        self.machine.protocol.issue = self._original_issue  # type: ignore
+        return self.events
+
+
+def load_trace(stream: IO[str]) -> List[TraceEvent]:
+    """Read a JSONL trace written by :class:`TraceRecorder`."""
+    events = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        events.append(TraceEvent(**json.loads(line)))
+    return events

@@ -1,0 +1,13 @@
+"""Protocol invariant checkers (SWMR, dirty containment, CB directory)."""
+
+from repro.validation.checker import (InvariantViolation, audit_machine,
+                                      check_callback_directory,
+                                      check_mesi_swmr, check_vips_l1)
+
+__all__ = [
+    "InvariantViolation",
+    "audit_machine",
+    "check_callback_directory",
+    "check_mesi_swmr",
+    "check_vips_l1",
+]

@@ -1,0 +1,28 @@
+"""Workloads: synchronization microbenchmarks + the 19-app suite."""
+
+from repro.workloads.base import Workload, make_burst
+from repro.workloads.extra import PipelineWorkload, TaskQueueWorkload
+from repro.workloads.microbench import (BarrierMicrobench, LockMicrobench,
+                                        SignalWaitMicrobench)
+from repro.workloads.suite import (APP_NAMES, INPUT_CLASSES, PROFILES,
+                                   AppProfile, AppWorkload, get_workload)
+
+#: All application stand-ins, in deterministic order.
+WORKLOADS = APP_NAMES
+
+__all__ = [
+    "APP_NAMES",
+    "INPUT_CLASSES",
+    "AppProfile",
+    "AppWorkload",
+    "BarrierMicrobench",
+    "LockMicrobench",
+    "PROFILES",
+    "PipelineWorkload",
+    "TaskQueueWorkload",
+    "SignalWaitMicrobench",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "make_burst",
+]

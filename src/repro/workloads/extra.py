@@ -1,0 +1,109 @@
+"""Additional application-shaped workloads beyond the 19-app suite.
+
+These exercise the synchronization idioms the suite's profile template
+does not: producer/consumer signalling (the paper's signal/wait,
+Section 3.4.6) and a lock-protected work queue (the task-stealing
+pattern of radiosity/raytrace/volrend, here modelled faithfully with a
+shared head index instead of statistical critical sections).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.machine import Machine, ThreadBody
+from repro.protocols.ops import Compute, Load, Store
+from repro.sync import make_lock, make_signal_wait, style_for
+from repro.workloads.base import Workload, make_burst
+
+
+class PipelineWorkload(Workload):
+    """A software pipeline: stage i signals stage i+1 per item.
+
+    Threads form a chain; thread 0 produces ``items`` items, each later
+    stage waits for its predecessor's signal, does per-item work, and
+    signals its successor. Every stage boundary is a SignalWait — the
+    construct evaluated in Figure 20's "wait" column — so the whole
+    workload's critical path is signal latency.
+    """
+
+    def __init__(self, items: int = 8, work_cycles: int = 300) -> None:
+        self.name = "pipeline"
+        self.items = items
+        self.work_cycles = work_cycles
+
+    def build(self, machine: Machine) -> List[ThreadBody]:
+        n = machine.config.num_cores
+        if n < 2:
+            raise ValueError("a pipeline needs at least two stages")
+        style = style_for(machine.config)
+        # One signal/wait channel between each pair of adjacent stages.
+        channels = [make_signal_wait(style) for _ in range(n - 1)]
+        for channel in channels:
+            channel.setup(machine.layout, n)
+            self.seed_values(machine, channel.initial_values())
+
+        def stage(ctx):
+            stage_index = ctx.tid
+            upstream = channels[stage_index - 1] if stage_index > 0 else None
+            downstream = (channels[stage_index]
+                          if stage_index < n - 1 else None)
+            for _item in range(self.items):
+                if upstream is not None:
+                    yield from upstream.wait(ctx)
+                yield Compute(1 + ctx.rng.randrange(self.work_cycles))
+                if downstream is not None:
+                    yield from downstream.signal(ctx)
+
+        return [stage] * n
+
+
+class TaskQueueWorkload(Workload):
+    """A lock-protected work queue: grab the next index, process it.
+
+    ``tasks`` work items live behind a single shared head counter
+    protected by a lock. Each worker loops: acquire, read/advance the
+    head (plain DRF accesses under the lock), release, process the item
+    (compute + a private data burst). The queue drains exactly once —
+    an end-to-end correctness property the tests check.
+    """
+
+    def __init__(self, tasks: int = 64, lock_name: str = "ttas",
+                 work_cycles: int = 400, work_lines: int = 4) -> None:
+        self.name = "task_queue"
+        self.tasks = tasks
+        self.lock_name = lock_name
+        self.work_cycles = work_cycles
+        self.work_lines = work_lines
+        self.claimed: List[int] = []
+
+    def build(self, machine: Machine) -> List[ThreadBody]:
+        n = machine.config.num_cores
+        style = style_for(machine.config)
+        lock = make_lock(self.lock_name, style)
+        lock.setup(machine.layout, n)
+        self.seed_values(machine, lock.initial_values())
+        head = machine.layout.alloc_sync_word()
+        machine.store.write(head, 0)
+        self.claimed = []
+        line = machine.config.line_bytes
+        privates = [
+            machine.layout.alloc_page_aligned(line * self.work_lines * 2)
+            for _ in range(n)
+        ]
+
+        def worker(ctx):
+            mine = privates[ctx.tid]
+            while True:
+                yield from lock.acquire(ctx)
+                index = yield Load(head)
+                if index < self.tasks:
+                    yield Store(head, index + 1)
+                yield from lock.release(ctx)
+                if index >= self.tasks:
+                    return
+                self.claimed.append(index)
+                yield Compute(1 + ctx.rng.randrange(self.work_cycles))
+                yield make_burst(ctx.rng, mine, self.work_lines, 0.5, line)
+
+        return [worker] * n

@@ -1,0 +1,26 @@
+"""Shared fixtures: small machine configurations for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig, config_for
+
+
+@pytest.fixture
+def cfg4():
+    """A tiny 4-core callback machine."""
+    return config_for("CB-One", num_cores=4)
+
+
+@pytest.fixture
+def cfg16():
+    """A 16-core callback machine (4x4 mesh)."""
+    return config_for("CB-One", num_cores=16)
+
+
+ALL_LABELS = ("Invalidation", "BackOff-0", "BackOff-10", "CB-All", "CB-One")
+
+
+def make_config(label: str, cores: int = 4, **overrides) -> SystemConfig:
+    return config_for(label, num_cores=cores, **overrides)

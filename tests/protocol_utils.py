@@ -1,0 +1,29 @@
+"""Helpers for driving protocol operations directly in tests."""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.machine import Machine
+from repro.protocols import ops
+
+
+def issue(machine: Machine, core: int, op: ops.Op):
+    """Issue one op, run the engine to quiescence, return the result."""
+    future = machine.protocol.issue(core, op)
+    machine.engine.run()
+    assert future.done, f"{op!r} did not complete"
+    return future.value
+
+
+def issue_pending(machine: Machine, core: int, op: ops.Op):
+    """Issue one op and drain events WITHOUT requiring completion.
+
+    Used for callback reads expected to block in the directory.
+    """
+    future = machine.protocol.issue(core, op)
+    machine.engine.run()
+    return future
+
+
+def msgs(machine: Machine, kind: str) -> int:
+    return machine.stats.msg_kinds.get(kind, 0)

@@ -1,0 +1,58 @@
+"""First-touch private/shared page classification."""
+
+from repro.classify.pagetable import PageClassifier
+from repro.config import SystemConfig
+from repro.mem.layout import AddressMap
+
+
+def make_classifier():
+    return PageClassifier(AddressMap(SystemConfig(num_cores=16)))
+
+
+class TestFirstTouch:
+    def test_first_touch_is_private(self):
+        c = make_classifier()
+        assert c.touch(0x1000, core=3) is False
+        assert c.is_private_to(0x1000, 3)
+        assert not c.is_shared(0x1000)
+
+    def test_same_core_stays_private(self):
+        c = make_classifier()
+        c.touch(0x1000, 3)
+        assert c.touch(0x1fff, 3) is False  # same page
+        assert c.is_private_to(0x1000, 3)
+
+    def test_second_core_shares(self):
+        c = make_classifier()
+        c.touch(0x1000, 3)
+        assert c.touch(0x1008, 5) is True
+        assert c.is_shared(0x1000)
+        assert c.transitions_to_shared == 1
+
+    def test_shared_is_sticky(self):
+        c = make_classifier()
+        c.touch(0x1000, 3)
+        c.touch(0x1000, 5)
+        assert c.touch(0x1000, 3) is True  # original owner now sees shared
+        assert c.transitions_to_shared == 1  # only counted once
+
+    def test_page_granularity(self):
+        c = make_classifier()
+        c.touch(0x1000, 1)
+        c.touch(0x2000, 2)  # different page, different owner
+        assert c.is_private_to(0x1000, 1)
+        assert c.is_private_to(0x2000, 2)
+
+    def test_force_shared(self):
+        c = make_classifier()
+        c.force_shared(0x3000)
+        assert c.is_shared(0x3000)
+        assert c.touch(0x3000, 0) is True
+
+    def test_owner_of(self):
+        c = make_classifier()
+        assert c.owner_of(0x1000) is None
+        c.touch(0x1000, 7)
+        assert c.owner_of(0x1000) == 7
+        c.touch(0x1000, 8)
+        assert c.owner_of(0x1000) == PageClassifier.SHARED

@@ -1,0 +1,116 @@
+"""Cross-primitive composition: locks, barriers, signal/wait and RW locks
+interleaved in one application, under every protocol."""
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute, Load, Store
+from repro.sync import (make_barrier, make_lock, make_signal_wait,
+                        style_for)
+from repro.sync.rwlock import RWLock
+
+LABELS = ("Invalidation", "BackOff-0", "BackOff-10", "CB-All", "CB-One")
+
+
+def build_composed_machine(label, threads=4, phases=3):
+    """Each phase: producer/consumer hand-off, a locked counter update,
+    an RW-locked read/write mix, and a barrier."""
+    cfg = config_for(label, num_cores=threads)
+    machine = Machine(cfg)
+    style = style_for(cfg)
+
+    lock = make_lock("clh", style)
+    barrier = make_barrier("treesr", style, threads)
+    sw = make_signal_wait(style)
+    rw = RWLock(style)
+    for primitive in (lock, barrier, sw, rw):
+        primitive.setup(machine.layout, threads)
+        for addr, value in primitive.initial_values().items():
+            machine.store.write(addr, value)
+
+    counter = machine.layout.alloc_sync_word()
+    rw_data = machine.layout.alloc_sync_word()
+    checks = {"bar_violations": 0, "expected_counter": threads * phases}
+    arrived = [0] * phases
+
+    def body(ctx):
+        for phase in range(phases):
+            yield Compute(1 + ctx.rng.randrange(80))
+            # Thread 0 signals everyone else once per phase.
+            if ctx.tid == 0:
+                for _ in range(ctx.num_threads - 1):
+                    yield from sw.signal(ctx)
+            else:
+                yield from sw.wait(ctx)
+            # Locked counter update (mutual exclusion).
+            yield from lock.acquire(ctx)
+            value = machine.store.read(counter)
+            yield Compute(5)
+            machine.store.write(counter, value + 1)
+            yield from lock.release(ctx)
+            # RW section: even tids read, odd tids write.
+            if ctx.tid % 2:
+                yield from rw.acquire_write(ctx)
+                current = yield Load(rw_data)
+                yield Store(rw_data, current + 1)
+                yield from rw.release_write(ctx)
+            else:
+                yield from rw.acquire_read(ctx)
+                yield Load(rw_data)
+                yield from rw.release_read(ctx)
+            # Barrier closes the phase.
+            arrived[phase] += 1
+            yield from barrier.wait(ctx)
+            if arrived[phase] != ctx.num_threads:
+                checks["bar_violations"] += 1
+
+    machine.spawn([body] * threads)
+    return machine, counter, rw_data, checks, phases, threads
+
+
+@pytest.mark.parametrize("label", LABELS)
+class TestComposition:
+    def test_everything_composes(self, label):
+        machine, counter, rw_data, checks, phases, threads = \
+            build_composed_machine(label)
+        machine.run()
+        assert machine.store.read(counter) == checks["expected_counter"]
+        assert checks["bar_violations"] == 0
+        # Odd tids each wrote once per phase.
+        writers = threads // 2
+        assert machine.store.read(rw_data) == writers * phases
+
+    def test_episode_categories_all_present(self, label):
+        machine, *_rest = build_composed_machine(label)
+        stats = machine.run()
+        for category in ("lock_acquire", "barrier_wait", "wait",
+                         "rwlock_write_acquire"):
+            assert stats.episode_latencies[category], category
+
+
+def test_composition_under_smt_and_torus():
+    """Everything at once: SMT machine, torus network, composed sync."""
+    cfg = config_for("CB-One", num_cores=4, threads_per_core=2,
+                     topology="torus")
+    machine = Machine(cfg)
+    style = style_for(cfg)
+    lock = make_lock("mcs", style)
+    barrier = make_barrier("treesr", style, 8)
+    for primitive in (lock, barrier):
+        primitive.setup(machine.layout, 8)
+        for addr, value in primitive.initial_values().items():
+            machine.store.write(addr, value)
+    counter = machine.layout.alloc_sync_word()
+
+    def body(ctx):
+        for _ in range(2):
+            yield from lock.acquire(ctx)
+            machine.store.write(counter, machine.store.read(counter) + 1)
+            yield Compute(10)
+            yield from lock.release(ctx)
+            yield from barrier.wait(ctx)
+
+    machine.spawn([body] * 8)
+    machine.run()
+    assert machine.store.read(counter) == 16

@@ -1,0 +1,73 @@
+"""Plain-text configuration files."""
+
+import pytest
+
+from repro.config import CallbackMode, Protocol, SystemConfig, WakePolicy
+from repro.config_io import ConfigError, load_config, parse_config, save_config
+
+
+class TestParse:
+    def test_basic_fields(self):
+        cfg = parse_config("""
+            # a comment
+            num_cores = 16
+            mem_latency = 200
+        """)
+        assert cfg.num_cores == 16
+        assert cfg.mem_latency == 200
+        # Untouched fields keep Table 2 defaults.
+        assert cfg.l1_ways == 4
+
+    def test_enum_fields(self):
+        cfg = parse_config("""
+            protocol = callback
+            callback_mode = cb_all
+            cb_wake_policy = fifo
+        """)
+        assert cfg.protocol is Protocol.VIPS_CALLBACK
+        assert cfg.callback_mode is CallbackMode.ALL
+        assert cfg.cb_wake_policy is WakePolicy.FIFO
+
+    def test_enum_by_name_too(self):
+        cfg = parse_config("protocol = MESI")
+        assert cfg.protocol is Protocol.MESI
+
+    def test_bools_and_strings(self):
+        cfg = parse_config("""
+            model_link_contention = true
+            topology = torus
+        """)
+        assert cfg.model_link_contention is True
+        assert cfg.topology == "torus"
+
+    def test_inline_comment(self):
+        cfg = parse_config("num_cores = 4  # tiny machine")
+        assert cfg.num_cores == 4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            parse_config("warp_factor = 9")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigError, match="expected"):
+            parse_config("just some words")
+
+    def test_bad_enum_value_rejected(self):
+        with pytest.raises(ConfigError, match="not one of"):
+            parse_config("protocol = moesi")
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            parse_config("num_cores = 6")
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        original = SystemConfig(num_cores=16, protocol=Protocol.MESI,
+                                backoff_limit=5, topology="torus",
+                                model_link_contention=True,
+                                cb_wake_policy=WakePolicy.RANDOM)
+        path = str(tmp_path / "machine.cfg")
+        save_config(original, path)
+        loaded = load_config(path)
+        assert loaded == original

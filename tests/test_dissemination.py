@@ -1,0 +1,91 @@
+"""Dissemination barrier (library extension from MCS [19])."""
+
+import math
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute
+from repro.sync import DisseminationBarrier, make_barrier, style_for
+
+LABELS = ("Invalidation", "BackOff-0", "BackOff-10", "CB-All", "CB-One")
+
+
+def run_barrier(label, threads=4, episodes=4, skew=150):
+    import math
+    side = math.ceil(math.sqrt(max(threads, 4)))
+    cfg = config_for(label, num_cores=side * side)
+    machine = Machine(cfg)
+    barrier = make_barrier("dissemination", style_for(cfg), threads)
+    barrier.setup(machine.layout, threads)
+    for addr, value in barrier.initial_values().items():
+        machine.store.write(addr, value)
+    arrived = [0] * episodes
+    violations = []
+
+    def body(ctx):
+        for k in range(episodes):
+            yield Compute(1 + ctx.rng.randrange(skew))
+            arrived[k] += 1
+            yield from barrier.wait(ctx)
+            if arrived[k] != threads:
+                violations.append((ctx.tid, k))
+
+    machine.spawn([body] * threads)
+    stats = machine.run()
+    return stats, violations
+
+
+class TestStructure:
+    def test_round_count(self):
+        assert DisseminationBarrier(style_for(config_for("CB-One")),
+                                    4).rounds == 2
+        assert DisseminationBarrier(style_for(config_for("CB-One")),
+                                    5).rounds == 3
+        assert DisseminationBarrier(style_for(config_for("CB-One")),
+                                    64).rounds == 6
+
+    def test_flag_allocation(self):
+        cfg = config_for("CB-One", num_cores=4)
+        machine = Machine(cfg)
+        barrier = DisseminationBarrier(style_for(cfg), 4)
+        barrier.setup(machine.layout, 4)
+        assert len(barrier.initial_values()) == 4 * 2  # threads x rounds
+
+
+@pytest.mark.parametrize("label", LABELS)
+class TestEpochIntegrity:
+    def test_nobody_leaves_early(self, label):
+        _stats, violations = run_barrier(label)
+        assert violations == []
+
+    def test_non_power_of_two_threads(self, label):
+        _stats, violations = run_barrier(label, threads=3)
+        assert violations == []
+
+    def test_many_episodes(self, label):
+        _stats, violations = run_barrier(label, episodes=8, skew=20)
+        assert violations == []
+
+
+def test_sixteen_threads_cb():
+    _stats, violations = run_barrier("CB-One", threads=16, episodes=3)
+    assert violations == []
+
+
+def test_single_thread_degenerates():
+    _stats, violations = run_barrier("CB-One", threads=1, episodes=3)
+    assert violations == []
+
+
+def test_callback_parks_between_rounds():
+    stats, _violations = run_barrier("CB-One", threads=8, episodes=3,
+                                     skew=400)
+    assert stats.cb_blocked_reads > 0
+
+
+def test_no_atomics_needed():
+    """Dissemination uses only loads/stores — no RMW at all."""
+    stats, _violations = run_barrier("CB-One", threads=4)
+    assert stats.msg_kinds.get("Atomic", 0) == 0

@@ -1,0 +1,125 @@
+"""Discrete-event engine: ordering, determinism, watchdog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(30, lambda: fired.append("c"))
+        engine.schedule(10, lambda: fired.append("a"))
+        engine.schedule(20, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_cycle_fifo_tiebreak(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(5, lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_zero_delay_runs_same_cycle(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [7]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(100, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [100]
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1, lambda: (fired.append(engine.now),
+                                    engine.schedule(5, lambda: fired.append(engine.now))))
+        engine.run()
+        assert fired == [1, 6]
+
+
+class TestRunControls:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, lambda: fired.append(5))
+        engine.schedule(50, lambda: fired.append(50))
+        engine.run(until=10)
+        assert fired == [5]
+        assert engine.pending == 1
+
+    def test_watchdog_raises(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule(1, rearm)
+
+        engine.schedule(1, rearm)
+        with pytest.raises(SimulationError, match="watchdog"):
+            engine.run(max_events=100)
+
+    def test_step_on_empty_returns_false(self):
+        assert Engine().step() is False
+
+    def test_run_returns_event_count(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1, lambda: None)
+        assert engine.run() == 5
+
+
+class TestDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                    max_size=50))
+    def test_events_observe_monotone_time(self, delays):
+        engine = Engine()
+        times = []
+        for d in delays:
+            engine.schedule(d, lambda: times.append(engine.now))
+        engine.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                    max_size=30))
+    def test_two_identical_runs_interleave_identically(self, delays):
+        def trace():
+            engine = Engine()
+            order = []
+            for i, d in enumerate(delays):
+                engine.schedule(d, lambda i=i: order.append((engine.now, i)))
+            engine.run()
+            return order
+
+        assert trace() == trace()

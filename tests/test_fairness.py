@@ -1,0 +1,74 @@
+"""Fairness analysis: Jain index and per-thread latency spread."""
+
+import pytest
+
+from repro.config import WakePolicy, config_for
+from repro.harness.fairness import (acquisition_fairness, episode_counts,
+                                    jain_index, latency_fairness)
+from repro.harness.runner import run_workload
+from repro.sim.stats import Stats
+from repro.workloads.microbench import LockMicrobench
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_is_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+
+    def test_monotone_in_skew(self):
+        assert jain_index([6, 6]) > jain_index([10, 2]) > jain_index([12, 0])
+
+
+class TestEpisodeAccounting:
+    def test_counts_by_thread(self):
+        stats = Stats()
+        for tid in (0, 0, 1, 2):
+            stats.record_episode("lock_acquire", 10, tid=tid)
+        assert episode_counts(stats, "lock_acquire") == {0: 2, 1: 1, 2: 1}
+
+    def test_untagged_episodes_ignored(self):
+        stats = Stats()
+        stats.record_episode("lock_acquire", 10)  # tid defaults to -1
+        assert episode_counts(stats, "lock_acquire") == {}
+
+    def test_starved_threads_visible_with_num_threads(self):
+        stats = Stats()
+        for _ in range(8):
+            stats.record_episode("lock_acquire", 10, tid=0)
+        assert acquisition_fairness(stats, num_threads=1) == 1.0
+        assert acquisition_fairness(stats, num_threads=4) == pytest.approx(0.25)
+
+    def test_latency_fairness(self):
+        stats = Stats()
+        stats.record_episode("lock_acquire", 10, tid=0)
+        stats.record_episode("lock_acquire", 30, tid=1)
+        # overall mean 20, worst thread mean 30.
+        assert latency_fairness(stats) == pytest.approx(1.5)
+
+    def test_latency_fairness_empty(self):
+        assert latency_fairness(Stats()) == 1.0
+
+
+class TestWakePolicyFairness:
+    """The paper's wake policies, measured: every policy keeps the lock
+    microbenchmark fair (each thread runs a fixed number of acquires, so
+    count-fairness is 1.0 by construction — the latency spread is the
+    discriminator and must stay bounded)."""
+
+    @pytest.mark.parametrize("policy", list(WakePolicy))
+    def test_count_fairness_perfect_for_fixed_iterations(self, policy):
+        cfg = config_for("CB-One", num_cores=16, cb_wake_policy=policy)
+        result = run_workload(cfg, LockMicrobench("ttas", iterations=4))
+        fairness = acquisition_fairness(result.stats, num_threads=16)
+        assert fairness == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("policy", list(WakePolicy))
+    def test_latency_spread_bounded(self, policy):
+        cfg = config_for("CB-One", num_cores=16, cb_wake_policy=policy)
+        result = run_workload(cfg, LockMicrobench("ttas", iterations=4))
+        assert latency_fairness(result.stats) < 2.5

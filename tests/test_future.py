@@ -1,0 +1,70 @@
+"""Futures and wait queues."""
+
+import pytest
+
+from repro.sim.future import Future, WaitQueue
+
+
+class TestFuture:
+    def test_callback_after_resolve_runs_immediately(self):
+        f = Future()
+        f.resolve(7)
+        seen = []
+        f.add_callback(seen.append)
+        assert seen == [7]
+
+    def test_callback_before_resolve_deferred(self):
+        f = Future()
+        seen = []
+        f.add_callback(seen.append)
+        assert seen == []
+        f.resolve("x")
+        assert seen == ["x"]
+
+    def test_multiple_callbacks_fifo(self):
+        f = Future()
+        seen = []
+        f.add_callback(lambda v: seen.append(("a", v)))
+        f.add_callback(lambda v: seen.append(("b", v)))
+        f.resolve(1)
+        assert seen == [("a", 1), ("b", 1)]
+
+    def test_double_resolve_is_a_bug(self):
+        f = Future()
+        f.resolve()
+        with pytest.raises(RuntimeError, match="twice"):
+            f.resolve()
+
+    def test_resolved_constructor(self):
+        f = Future.resolved(3)
+        assert f.done and f.value == 3
+
+
+class TestWaitQueue:
+    def test_wake_one_fifo_order(self):
+        q = WaitQueue()
+        order = []
+        for name in "abc":
+            q.park().add_callback(lambda _v, n=name: order.append(n))
+        q.wake_one()
+        q.wake_one()
+        assert order == ["a", "b"]
+        assert len(q) == 1
+
+    def test_wake_one_empty_returns_false(self):
+        assert WaitQueue().wake_one() is False
+
+    def test_wake_all(self):
+        q = WaitQueue()
+        seen = []
+        for i in range(4):
+            q.park().add_callback(lambda _v, i=i: seen.append(i))
+        assert q.wake_all("v") == 4
+        assert seen == [0, 1, 2, 3]
+        assert not q
+
+    def test_bool_and_len(self):
+        q = WaitQueue()
+        assert not q and len(q) == 0
+        q.park()
+        assert q and len(q) == 1

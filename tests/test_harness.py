@@ -1,0 +1,92 @@
+"""Harness: runner plumbing, experiment functions, figures CLI."""
+
+import pytest
+
+from repro.config import config_for
+from repro.harness import experiments
+from repro.harness.figures import main as figures_main
+from repro.harness.runner import RunResult, run_config, run_workload
+from repro.workloads.microbench import LockMicrobench
+from repro.workloads.suite import get_workload
+
+
+class TestRunner:
+    def test_run_workload_populates_result(self):
+        cfg = config_for("CB-One", num_cores=4)
+        result = run_workload(cfg, LockMicrobench("ttas", iterations=2))
+        assert isinstance(result, RunResult)
+        assert result.config_label == "CB-One"
+        assert result.workload == "ubench_lock_ttas"
+        assert result.cycles > 0
+        assert result.traffic > 0
+        assert result.energy.total_pj > 0
+
+    def test_run_config_label_shorthand(self):
+        result = run_config("BackOff-5", LockMicrobench("tas", iterations=1),
+                            num_cores=4)
+        assert result.config_label == "BackOff-5"
+
+    def test_results_are_reproducible(self):
+        a = run_config("CB-All", get_workload("radix", scale=0.2),
+                       num_cores=4)
+        b = run_config("CB-All", get_workload("radix", scale=0.2),
+                       num_cores=4)
+        assert a.cycles == b.cycles
+        assert a.traffic == b.traffic
+        assert a.stats.llc_accesses == b.stats.llc_accesses
+
+
+class TestExperiments:
+    def test_fig21_normalizes_to_invalidation(self):
+        out = experiments.fig21(num_cores=4, scale=0.15, verbose=False,
+                                configs=("Invalidation", "CB-One"),
+                                apps=["swaptions", "radix"])
+        for app in ("swaptions", "radix"):
+            assert out["time"][app]["Invalidation"] == pytest.approx(1.0)
+            assert out["traffic"][app]["Invalidation"] == pytest.approx(1.0)
+        assert "geomean" in out["time"]
+
+    def test_fig22_rows_have_breakdown(self):
+        out = experiments.fig22(num_cores=4, scale=0.15, verbose=False,
+                                configs=("Invalidation", "CB-One"),
+                                apps=["swaptions"])
+        row = out["energy"]["CB-One"]
+        assert set(row) == {"l1", "llc", "network", "total"}
+
+    def test_fig23_covers_both_lock_regimes(self):
+        out = experiments.fig23(num_cores=4, scale=0.15, verbose=False,
+                                configs=("Invalidation", "CB-One"),
+                                apps=["barnes"])
+        assert set(out["time"]) == {"ttas", "clh"}
+        assert set(out["traffic"]) == {"ttas", "clh"}
+
+    def test_ablation_dirsize_rows(self):
+        out = experiments.ablation_dirsize(num_cores=4, scale=0.15,
+                                           sizes=(4, 16),
+                                           apps=["swaptions"],
+                                           verbose=False)
+        assert set(out) == {4, 16}
+
+    def test_ablation_policy_rows(self):
+        out = experiments.ablation_policy(num_cores=4, iterations=2,
+                                          verbose=False)
+        assert set(out) == {"round_robin", "random", "fifo"}
+
+
+class TestFiguresCLI:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            figures_main(["fig99"])
+
+    def test_quick_fig1(self, capsys):
+        rc = figures_main(["fig1", "--cores", "4", "--iterations", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig1 llc_accesses" in out
+        assert "BackOff-15" in out
+
+    def test_multiple_figures_in_one_call(self, capsys):
+        rc = figures_main(["ablation-policy", "--cores", "4",
+                           "--iterations", "1"])
+        assert rc == 0
+        assert "wake policy" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Mesh topology and X-Y routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.mesh import Mesh
+
+
+class TestCoordinates:
+    def test_row_major_numbering(self):
+        mesh = Mesh(4)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(3) == (3, 0)
+        assert mesh.coords(4) == (0, 1)
+        assert mesh.coords(15) == (3, 3)
+
+    def test_node_at_roundtrip(self):
+        mesh = Mesh(5)
+        for node in range(25):
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_out_of_range_rejected(self):
+        mesh = Mesh(3)
+        with pytest.raises(ValueError):
+            mesh.coords(9)
+        with pytest.raises(ValueError):
+            mesh.node_at(3, 0)
+
+    def test_degenerate_mesh(self):
+        mesh = Mesh(1)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.route(0, 0) == [0]
+
+
+class TestHops:
+    def test_manhattan_distance(self):
+        mesh = Mesh(8)
+        assert mesh.hops(0, 63) == 14  # corner to corner
+        assert mesh.hops(0, 7) == 7
+        assert mesh.hops(0, 0) == 0
+
+    def test_symmetric(self):
+        mesh = Mesh(4)
+        for a in range(16):
+            for b in range(16):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_average_distance_8x8(self):
+        # Mean Manhattan distance on an n x n mesh is 2*(n^2-1)/(3n).
+        mesh = Mesh(8)
+        assert mesh.average_distance() == pytest.approx(2 * 63 / 24)
+
+
+class TestRouting:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_length_matches_hops(self, src, dst):
+        mesh = Mesh(8)
+        route = mesh.route(src, dst)
+        assert len(route) == mesh.hops(src, dst) + 1
+        assert route[0] == src and route[-1] == dst
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_steps_are_neighbors(self, src, dst):
+        mesh = Mesh(8)
+        route = mesh.route(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert mesh.hops(a, b) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_x_before_y(self, src, dst):
+        """Dimension-order: the Y coordinate never changes until the X
+        coordinate has fully resolved."""
+        mesh = Mesh(8)
+        route = mesh.route(src, dst)
+        dx = mesh.coords(dst)[0]
+        seen_y_move = False
+        for a, b in zip(route, route[1:]):
+            ax, ay = mesh.coords(a)
+            bx, by = mesh.coords(b)
+            if ay != by:
+                seen_y_move = True
+                assert ax == dx  # X already resolved
+            if seen_y_move:
+                assert ax == bx  # no X moves after a Y move

@@ -1,0 +1,84 @@
+"""Coverage for smaller surfaces: chart CLI, input classes, topology x
+contention interaction, harness odds and ends."""
+
+import pytest
+
+from repro.config import config_for
+from repro.harness.figures import main as figures_main
+from repro.harness.runner import run_config, run_workload
+from repro.workloads.microbench import LockMicrobench
+from repro.workloads.suite import INPUT_CLASSES, get_workload
+
+
+class TestChartCLI:
+    def test_chart_flag_renders_bars(self, capsys):
+        rc = figures_main(["fig1", "--cores", "4", "--iterations", "2",
+                           "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        assert "normalized to max" in out
+
+
+class TestInputClasses:
+    def test_classes_defined(self):
+        assert set(INPUT_CLASSES) == {"simsmall", "simmedium", "simlarge"}
+        assert INPUT_CLASSES["simsmall"] < INPUT_CLASSES["simlarge"]
+
+    def test_input_class_selects_scale(self):
+        small = get_workload("barnes", input_class="simsmall")
+        large = get_workload("barnes", input_class="simlarge")
+        assert small.scale < large.scale
+
+    def test_paper_default_streamcluster_is_simsmall(self):
+        """Section 5.1: streamcluster uses simsmall, everything else
+        simmedium."""
+        assert (get_workload("streamcluster").scale
+                == INPUT_CLASSES["simsmall"])
+        assert get_workload("barnes").scale == INPUT_CLASSES["simmedium"]
+
+    def test_scale_and_class_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            get_workload("barnes", scale=0.5, input_class="simsmall")
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError, match="input class"):
+            get_workload("barnes", input_class="simhuge")
+
+    def test_class_runs(self):
+        result = run_config("CB-One",
+                            get_workload("swaptions",
+                                         input_class="simsmall"),
+                            num_cores=4)
+        assert result.cycles > 0
+
+
+class TestTopologyContentionCombo:
+    def test_torus_with_link_contention(self):
+        cfg = config_for("BackOff-0", num_cores=16, topology="torus",
+                         model_link_contention=True)
+        result = run_workload(cfg, LockMicrobench("ttas", iterations=3))
+        assert result.cycles > 0
+        # All 48 acquires completed.
+        assert len(result.stats.episode_latencies["lock_acquire"]) == 48
+
+    def test_contended_torus_no_slower_than_contended_mesh(self):
+        """Shorter routes help under queuing too."""
+        def run(topology):
+            cfg = config_for("BackOff-0", num_cores=16, topology=topology,
+                             model_link_contention=True)
+            return run_workload(cfg, LockMicrobench("clh", iterations=3))
+
+        torus = run("torus")
+        mesh = run("mesh")
+        assert torus.stats.flit_hops < mesh.stats.flit_hops
+
+
+class TestSMTScaleInteraction:
+    def test_smt_with_app_workload(self):
+        cfg = config_for("CB-One", num_cores=4, threads_per_core=2)
+        result = run_workload(cfg, get_workload("radix", scale=0.2))
+        assert result.cycles > 0
+        # 8 hardware threads each hit every barrier episode.
+        episodes = result.stats.episode_latencies["barrier_wait"]
+        assert len(episodes) % 8 == 0

@@ -1,0 +1,64 @@
+"""Episode latency percentiles (tail-latency reporting)."""
+
+import pytest
+
+from repro.harness.runner import run_config
+from repro.sim.stats import Stats
+from repro.workloads.microbench import LockMicrobench
+
+
+class TestPercentileMath:
+    def _stats(self, samples):
+        stats = Stats()
+        for s in samples:
+            stats.record_episode("x", s)
+        return stats
+
+    def test_median(self):
+        stats = self._stats([10, 20, 30, 40, 50])
+        assert stats.episode_percentile("x", 50) == 30
+
+    def test_p100_is_max(self):
+        stats = self._stats([3, 1, 2])
+        assert stats.episode_percentile("x", 100) == 3
+
+    def test_small_pct_is_min(self):
+        stats = self._stats([3, 1, 2])
+        assert stats.episode_percentile("x", 1) == 1
+
+    def test_empty_category(self):
+        assert Stats().episode_percentile("nothing", 99) == 0.0
+
+    def test_out_of_range_rejected(self):
+        stats = self._stats([1])
+        with pytest.raises(ValueError):
+            stats.episode_percentile("x", 0)
+        with pytest.raises(ValueError):
+            stats.episode_percentile("x", 101)
+
+    def test_summary_keys_and_consistency(self):
+        stats = self._stats(list(range(1, 101)))
+        summary = stats.episode_summary("x")
+        assert summary["n"] == 100
+        assert summary["p50"] == 50
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
+        assert summary["max"] == 100
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_summary_empty(self):
+        assert Stats().episode_summary("x")["n"] == 0
+
+
+class TestTailLatencyShape:
+    def test_backoff_tail_worse_than_callback(self):
+        """Figure 1's real sting is in the tail: a large-cap back-off's
+        p99 acquire latency dwarfs the callback one even when means are
+        closer."""
+        backoff = run_config("BackOff-15", LockMicrobench("clh",
+                                                          iterations=6),
+                             num_cores=16)
+        cb = run_config("CB-One", LockMicrobench("clh", iterations=6),
+                        num_cores=16)
+        assert (backoff.stats.episode_percentile("lock_acquire", 99)
+                > cb.stats.episode_percentile("lock_acquire", 99) * 2)

@@ -1,0 +1,96 @@
+"""Cache replacement policies (LRU / FIFO / random)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import config_for
+from repro.harness.runner import run_config
+from repro.mem.cache import POLICIES, SetAssociativeCache
+from repro.workloads.suite import get_workload
+
+
+class TestFIFO:
+    def test_lookup_does_not_refresh(self):
+        cache = SetAssociativeCache(sets=1, ways=2, policy="fifo")
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.lookup(1)  # would protect 1 under LRU
+        _e, victim = cache.insert(3, "c")
+        assert victim.line == 1  # FIFO evicts the oldest fill regardless
+
+    def test_reinsert_does_not_refresh(self):
+        cache = SetAssociativeCache(sets=1, ways=2, policy="fifo")
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.insert(1, "a2")  # payload update, position unchanged
+        _e, victim = cache.insert(3, "c")
+        assert victim.line == 1
+
+
+class TestRandom:
+    def test_victim_is_resident(self):
+        cache = SetAssociativeCache(sets=1, ways=4, policy="random",
+                                    rng=random.Random(7))
+        for line in range(4):
+            cache.insert(line, line)
+        _e, victim = cache.insert(99, "x")
+        assert victim.line in range(4)
+
+    def test_deterministic_with_seeded_rng(self):
+        def victims(seed):
+            cache = SetAssociativeCache(sets=1, ways=4, policy="random",
+                                        rng=random.Random(seed))
+            for line in range(4):
+                cache.insert(line, line)
+            out = []
+            for extra in range(100, 110):
+                _e, victim = cache.insert(extra, extra)
+                out.append(victim.line)
+            return out
+
+        assert victims(3) == victims(3)
+
+    def test_spread_over_ways(self):
+        cache = SetAssociativeCache(sets=1, ways=4, policy="random",
+                                    rng=random.Random(11))
+        for line in range(4):
+            cache.insert(line, line)
+        seen = set()
+        for extra in range(100, 160):
+            _e, victim = cache.insert(extra, extra)
+            seen.add(victim.line)
+        assert len(seen) > 1  # not stuck on one way
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            SetAssociativeCache(sets=1, ways=2, policy="plru")
+
+    def test_config_knob_validated(self):
+        with pytest.raises(ValueError, match="replacement"):
+            config_for("CB-One", num_cores=4, l1_replacement="plru")
+
+
+@settings(max_examples=20, deadline=None)
+@given(policy=st.sampled_from(POLICIES),
+       ops_list=st.lists(st.integers(0, 30), min_size=1, max_size=120))
+def test_capacity_invariant_all_policies(policy, ops_list):
+    """No policy ever exceeds set capacity or loses a just-inserted line."""
+    cache = SetAssociativeCache(sets=2, ways=3, policy=policy,
+                                rng=random.Random(0))
+    for line in ops_list:
+        cache.insert(line, line)
+        assert cache.lookup(line, touch=False) is not None
+        assert len(cache) <= 6
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_machine_runs_under_every_policy(self, policy):
+        result = run_config("CB-One", get_workload("swaptions", scale=0.2),
+                            num_cores=4, l1_replacement=policy)
+        assert result.cycles > 0

@@ -1,0 +1,107 @@
+"""Trace replay: trace-driven re-execution across configurations."""
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols import ops
+from repro.trace import TraceRecorder
+from repro.trace.recorder import TraceEvent
+from repro.trace.replay import _reconstruct, replay, replay_bodies
+
+
+def record_run(label="BackOff-10", cores=4):
+    """Record a simple through-op/atomic workload."""
+    machine = Machine(config_for(label, num_cores=cores))
+    recorder = TraceRecorder(machine)
+    flag = machine.layout.alloc_sync_word()
+
+    def writer(ctx):
+        yield ops.Compute(120)
+        yield ops.StoreThrough(flag, 1)
+
+    def reader(ctx):
+        while True:
+            value = yield ops.LoadThrough(flag)
+            if value == 1:
+                break
+            yield ops.Compute(30)
+        yield ops.Atomic(flag, ops.AtomicKind.FETCH_ADD, (1,))
+
+    machine.spawn([writer, reader])
+    machine.run()
+    return recorder.detach(), flag
+
+
+class TestReconstruct:
+    def test_roundtrip_each_kind(self):
+        cases = [
+            (ops.Load(0x40), "ld"),
+            (ops.Store(0x40, 5), "st"),
+            (ops.LoadThrough(0x40), "ld_through"),
+            (ops.LoadCB(0x40), "ld_cb"),
+            (ops.StoreThrough(0x40, 7), "st_through"),
+            (ops.StoreCB1(0x40, 8), "st_cb1"),
+            (ops.StoreCB0(0x40, 9), "st_cb0"),
+            (ops.Atomic(0x40, ops.AtomicKind.TAS, (0, 1),
+                        ld=ops.LdKind.CB, st=ops.StKind.CB0), "atomic"),
+            (ops.Fence(ops.FenceKind.SELF_INVL), "fence"),
+        ]
+        from repro.trace.recorder import _classify
+        for original, kind in cases:
+            event = _classify(original)
+            assert event.kind == kind
+            rebuilt = _reconstruct(event)
+            assert type(rebuilt) is type(original)
+            if hasattr(original, "value"):
+                assert rebuilt.value == original.value
+            if isinstance(original, ops.Atomic):
+                assert rebuilt.kind is original.kind
+                assert rebuilt.operands == original.operands
+                assert rebuilt.ld is original.ld
+                assert rebuilt.st is original.st
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            _reconstruct(TraceEvent(0, 0, "warp", 0x40))
+
+
+class TestReplay:
+    def test_replay_reproduces_value_outcome(self):
+        events, flag = record_run()
+        machine = Machine(config_for("BackOff-10", num_cores=4))
+        replay(machine, events)
+        # writer's 1 + reader's fetch_add = 2
+        assert machine.store.read(flag) == 2
+
+    def test_cross_config_replay(self):
+        """Record under back-off, replay under the callback protocol."""
+        events, flag = record_run("BackOff-10")
+        machine = Machine(config_for("CB-One", num_cores=4))
+        stats = replay(machine, events)
+        assert machine.store.read(flag) == 2
+        assert stats.cycles > 0
+
+    def test_replay_preserves_thread_structure(self):
+        events, _flag = record_run()
+        bodies = replay_bodies(events)
+        assert len(bodies) == 2  # writer and reader threads
+
+    def test_think_time_preserved(self):
+        """A trace with one op at t=500 must not replay before t=500."""
+        events = [TraceEvent(500, 0, "st_through", 0x4000, detail=[1])]
+        machine = Machine(config_for("CB-One", num_cores=4))
+        stats = replay(machine, events)
+        assert stats.cycles >= 500
+
+    def test_too_many_trace_threads_rejected(self):
+        events = [TraceEvent(0, tid, "ld_through", 0x4000)
+                  for tid in range(5)]
+        machine = Machine(config_for("CB-One", num_cores=4))
+        with pytest.raises(ValueError, match="threads"):
+            replay(machine, events)
+
+    def test_empty_trace_is_a_trivial_run(self):
+        machine = Machine(config_for("CB-One", num_cores=4))
+        stats = replay(machine, [])
+        assert stats.cycles == 0

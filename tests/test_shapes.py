@@ -1,0 +1,155 @@
+"""Integration shape tests: the paper's qualitative claims must hold on
+small machines.
+
+These are the repository's regression net for the reproduction itself:
+if a protocol change breaks one of the paper's directional results, a
+test here fails.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig01, fig20
+from repro.harness.runner import run_config
+from repro.workloads.microbench import BarrierMicrobench, LockMicrobench
+from repro.workloads.suite import get_workload
+
+CORES = 16
+
+
+@pytest.fixture(scope="module")
+def lock_runs():
+    out = {}
+    for label in ("Invalidation", "BackOff-0", "BackOff-10", "CB-All",
+                  "CB-One"):
+        out[label] = run_config(label, LockMicrobench("ttas", iterations=6),
+                                num_cores=CORES)
+    return out
+
+
+@pytest.fixture(scope="module")
+def barrier_runs():
+    out = {}
+    for label in ("Invalidation", "BackOff-0", "BackOff-10", "CB-All",
+                  "CB-One"):
+        out[label] = run_config(label, BarrierMicrobench("sr", episodes=6),
+                                num_cores=CORES)
+    return out
+
+
+class TestSpinWaitingShapes:
+    def test_llc_spinning_floods_the_llc(self, lock_runs):
+        """Figure 1: BackOff-0 has by far the most LLC accesses."""
+        b0 = lock_runs["BackOff-0"].llc_sync
+        assert b0 > lock_runs["Invalidation"].llc_sync
+        assert b0 > lock_runs["CB-One"].llc_sync
+
+    def test_backoff_trades_llc_accesses_for_latency(self):
+        """Figure 1: more exponentiations, fewer accesses, more latency.
+
+        Measured on the CLH lock, as in Figure 1 — its single-waiter spin
+        isolates the back-off trade-off from bank contention effects.
+        """
+        runs = {
+            label: run_config(label, LockMicrobench("clh", iterations=6),
+                              num_cores=CORES)
+            for label in ("BackOff-0", "BackOff-15")
+        }
+        assert runs["BackOff-15"].llc_sync < runs["BackOff-0"].llc_sync
+        assert (runs["BackOff-15"].episode_mean("lock_acquire")
+                > runs["BackOff-0"].episode_mean("lock_acquire"))
+
+    def test_cb_one_beats_cb_all_for_locks(self, lock_runs):
+        """Figure 20 (T&T&S): waking all threads for one lock wastes LLC
+        accesses; only callback-one approaches Invalidation."""
+        assert (lock_runs["CB-One"].llc_sync
+                <= lock_runs["CB-All"].llc_sync)
+
+    def test_callbacks_dont_spin_on_the_llc(self, lock_runs):
+        """A parked ld_cb touches the LLC once, not per retry."""
+        assert (lock_runs["CB-One"].llc_sync
+                < lock_runs["BackOff-10"].llc_sync)
+
+    def test_invalidation_latency_suffers_under_contention(self, lock_runs):
+        """Figure 20: contended T&T&S acquires are slowest under MESI
+        (the t&s invalidates every spinner's copy)."""
+        inv = lock_runs["Invalidation"].episode_mean("lock_acquire")
+        assert inv > lock_runs["CB-One"].episode_mean("lock_acquire")
+
+
+class TestBarrierShapes:
+    def test_callbacks_cheapest_on_barriers(self, barrier_runs):
+        for label in ("BackOff-0", "BackOff-10"):
+            assert (barrier_runs["CB-All"].llc_sync
+                    < barrier_runs[label].llc_sync)
+
+    def test_backoff_barrier_latency_grows_with_limit(self, barrier_runs):
+        assert (barrier_runs["BackOff-10"].episode_mean("barrier_wait")
+                >= barrier_runs["BackOff-0"].episode_mean("barrier_wait"))
+
+
+class TestTrafficShapes:
+    @pytest.fixture(scope="class")
+    def app_runs(self):
+        out = {}
+        for label in ("Invalidation", "BackOff-10", "CB-One"):
+            out[label] = run_config(
+                label, get_workload("fluidanimate", scale=0.3),
+                num_cores=CORES)
+        return out
+
+    def test_callback_traffic_beats_invalidation(self, app_runs):
+        """Figure 21: callbacks cut network traffic vs. Invalidation."""
+        assert app_runs["CB-One"].traffic < app_runs["Invalidation"].traffic
+
+    def test_callback_traffic_beats_backoff(self, app_runs):
+        assert app_runs["CB-One"].traffic < app_runs["BackOff-10"].traffic
+
+    def test_callback_time_competitive(self, app_runs):
+        """Callbacks must not give back the traffic win in time."""
+        assert (app_runs["CB-One"].cycles
+                <= app_runs["Invalidation"].cycles * 1.15)
+        assert (app_runs["CB-One"].cycles
+                <= app_runs["BackOff-10"].cycles * 1.05)
+
+
+class TestEnergyShape:
+    def test_callbacks_cut_energy(self):
+        """Figure 22's headline: callbacks reduce total on-chip energy."""
+        runs = {
+            label: run_config(label, LockMicrobench("ttas", iterations=6),
+                              num_cores=CORES)
+            for label in ("Invalidation", "BackOff-10", "CB-One")
+        }
+        cb = runs["CB-One"].energy.onchip_pj
+        assert cb < runs["Invalidation"].energy.onchip_pj
+        assert cb < runs["BackOff-10"].energy.onchip_pj
+
+
+class TestDirectorySizeInsensitivity:
+    def test_four_entries_suffice(self):
+        """Section 5.2: 4 vs 64 entries per bank: no noticeable change."""
+        results = []
+        for entries in (4, 64):
+            result = run_config("CB-One",
+                                get_workload("barnes", scale=0.3),
+                                num_cores=CORES,
+                                cb_entries_per_bank=entries)
+            results.append(result)
+        a, b = results
+        assert a.cycles == pytest.approx(b.cycles, rel=0.02)
+        assert a.traffic == pytest.approx(b.traffic, rel=0.02)
+
+
+class TestExperimentFunctions:
+    def test_fig01_structure(self):
+        out = fig01(num_cores=CORES, iterations=3, verbose=False)
+        assert set(out) == {"clh", "treesr"}
+        for construct in out.values():
+            assert set(construct) == {"llc_accesses", "latency"}
+            for row in construct.values():
+                assert max(row.values()) == pytest.approx(1.0)
+
+    def test_fig20_includes_all_constructs(self):
+        out = fig20(num_cores=CORES, iterations=3, verbose=False,
+                    configs=("Invalidation", "BackOff-0", "CB-One"))
+        assert set(out) == {"ttas", "clh", "sr", "treesr", "signal-wait"}

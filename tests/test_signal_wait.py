@@ -1,0 +1,97 @@
+"""Signal/wait pairing under every protocol."""
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute
+from repro.sync import make_signal_wait, style_for
+
+LABELS = ("Invalidation", "BackOff-0", "BackOff-10", "CB-All", "CB-One")
+
+
+def run_signal_wait(label, producers=2, consumers=2, rounds=4):
+    cfg = config_for(label, num_cores=4)
+    machine = Machine(cfg)
+    sw = make_signal_wait(style_for(cfg))
+    sw.setup(machine.layout, 4)
+    for addr, value in sw.initial_values().items():
+        machine.store.write(addr, value)
+
+    total_signals = consumers * rounds
+    per_producer = total_signals // producers
+    consumed = {"count": 0}
+
+    def producer(ctx):
+        yield Compute(100 + ctx.rng.randrange(100))
+        for _ in range(per_producer):
+            yield Compute(1 + ctx.rng.randrange(50))
+            yield from sw.signal(ctx)
+
+    def consumer(ctx):
+        for _ in range(rounds):
+            yield from sw.wait(ctx)
+            consumed["count"] += 1
+            yield Compute(1 + ctx.rng.randrange(30))
+
+    bodies = [producer] * producers + [consumer] * consumers
+    machine.spawn(bodies)
+    stats = machine.run()
+    return machine, stats, sw, consumed, total_signals
+
+
+@pytest.mark.parametrize("label", LABELS)
+class TestPairing:
+    def test_every_wait_is_matched(self, label):
+        machine, _stats, sw, consumed, total = run_signal_wait(label)
+        assert consumed["count"] == total
+        # All signals consumed: the counter ends at zero.
+        assert machine.store.read(sw.counter_addr) == 0
+
+    def test_wait_episodes_recorded(self, label):
+        _m, stats, _sw, _c, total = run_signal_wait(label)
+        assert len(stats.episode_latencies["wait"]) == total
+
+
+@pytest.mark.parametrize("label", LABELS)
+def test_leftover_signals_remain(label):
+    """More signals than waits leaves the surplus in the counter."""
+    cfg = config_for(label, num_cores=4)
+    machine = Machine(cfg)
+    sw = make_signal_wait(style_for(cfg))
+    sw.setup(machine.layout, 4)
+
+    def producer(ctx):
+        for _ in range(5):
+            yield from sw.signal(ctx)
+
+    def consumer(ctx):
+        for _ in range(2):
+            yield from sw.wait(ctx)
+
+    machine.spawn([producer, consumer])
+    machine.run()
+    assert machine.store.read(sw.counter_addr) == 3
+
+
+def test_waiters_block_until_signal_under_callbacks():
+    """The spin side parks in the callback directory, not at the LLC."""
+    cfg = config_for("CB-One", num_cores=4)
+    machine = Machine(cfg)
+    sw = make_signal_wait(style_for(cfg))
+    sw.setup(machine.layout, 4)
+    order = []
+
+    def late_producer(ctx):
+        yield Compute(500)
+        order.append("signal")
+        yield from sw.signal(ctx)
+
+    def consumer(ctx):
+        yield from sw.wait(ctx)
+        order.append("woke")
+
+    machine.spawn([late_producer, consumer])
+    stats = machine.run()
+    assert order == ["signal", "woke"]
+    assert stats.cb_blocked_reads >= 1

@@ -1,0 +1,71 @@
+"""Stats container: counters, episodes, merging."""
+
+from repro.sim.stats import Stats
+
+
+class TestCounters:
+    def test_record_message(self):
+        stats = Stats()
+        stats.record_message("Data", flits=5, hops=3, size_bytes=72)
+        assert stats.messages == 1
+        assert stats.flits == 5
+        assert stats.flit_hops == 15
+        assert stats.byte_hops == 216
+        assert stats.msg_kinds["Data"] == 1
+
+    def test_episode_recording(self):
+        stats = Stats()
+        stats.record_episode("lock_acquire", 10)
+        stats.record_episode("lock_acquire", 30)
+        assert stats.episode_mean("lock_acquire") == 20.0
+        assert stats.episode_total("lock_acquire") == 40
+
+    def test_episode_mean_of_empty(self):
+        assert Stats().episode_mean("nothing") == 0.0
+
+    def test_summary_keys(self):
+        summary = Stats().summary()
+        for key in ("cycles", "llc_accesses", "flit_hops", "messages"):
+            assert key in summary
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = Stats(), Stats()
+        a.l1_accesses = 3
+        b.l1_accesses = 4
+        a.cycles = 10
+        b.cycles = 20
+        a.merge(b)
+        assert a.l1_accesses == 7
+        assert a.cycles == 30
+
+    def test_msg_kinds_sum(self):
+        a, b = Stats(), Stats()
+        a.record_message("Inv", 1, 2, 8)
+        b.record_message("Inv", 1, 1, 8)
+        b.record_message("Ack", 1, 1, 8)
+        a.merge(b)
+        assert a.msg_kinds["Inv"] == 2
+        assert a.msg_kinds["Ack"] == 1
+
+    def test_episodes_concatenate(self):
+        a, b = Stats(), Stats()
+        a.record_episode("wait", 5)
+        b.record_episode("wait", 7)
+        a.merge(b)
+        assert a.episode_latencies["wait"] == [5, 7]
+
+    def test_max_active_entries_takes_max(self):
+        a, b = Stats(), Stats()
+        a.cb_max_active_entries = 2
+        b.cb_max_active_entries = 5
+        a.merge(b)
+        assert a.cb_max_active_entries == 5
+
+    def test_parked_cycles_sum(self):
+        a, b = Stats(), Stats()
+        a.cb_parked_cycles = 100
+        b.cb_parked_cycles = 50
+        a.merge(b)
+        assert a.cb_parked_cycles == 150

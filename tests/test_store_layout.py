@@ -1,0 +1,140 @@
+"""Word store atomics and memory layout allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.mem.layout import AddressMap, MemoryLayout
+from repro.mem.store import WordStore
+
+
+class TestWordStore:
+    def test_default_zero(self):
+        assert WordStore().read(0x1234560) == 0
+
+    def test_write_read(self):
+        store = WordStore()
+        store.write(0x100, 42)
+        assert store.read(0x100) == 42
+
+    def test_word_aliasing(self):
+        """Sub-word addresses alias to their containing word."""
+        store = WordStore(word_bytes=8)
+        store.write(0x100, 7)
+        assert store.read(0x104) == 7
+
+    def test_versions_bump_on_write(self):
+        store = WordStore()
+        assert store.version(0x8) == 0
+        store.write(0x8, 1)
+        store.write(0x8, 2)
+        assert store.version(0x8) == 2
+
+    def test_fetch_add_returns_old(self):
+        store = WordStore()
+        store.write(0, 10)
+        assert store.fetch_add(0, 5) == 10
+        assert store.read(0) == 15
+
+    def test_swap(self):
+        store = WordStore()
+        store.write(0, 3)
+        assert store.swap(0, 9) == 3
+        assert store.read(0) == 9
+
+    def test_test_and_set_success_and_failure(self):
+        store = WordStore()
+        old, wrote = store.test_and_set(0, 0, 1)
+        assert (old, wrote) == (0, True)
+        old, wrote = store.test_and_set(0, 0, 1)
+        assert (old, wrote) == (1, False)
+        assert store.read(0) == 1
+
+    def test_compare_and_swap(self):
+        store = WordStore()
+        store.write(0, 5)
+        assert store.compare_and_swap(0, 5, 6) == (5, True)
+        assert store.compare_and_swap(0, 5, 7) == (6, False)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100), max_size=50))
+    def test_fetch_add_accumulates(self, deltas):
+        store = WordStore()
+        for d in deltas:
+            store.fetch_add(0x40, d)
+        assert store.read(0x40) == sum(deltas)
+
+
+class TestAddressMap:
+    def setup_method(self):
+        self.cfg = SystemConfig(num_cores=16)
+        self.amap = AddressMap(self.cfg)
+
+    def test_granularities(self):
+        addr = 0x1_0043
+        assert self.amap.line_of(addr) == addr // 64
+        assert self.amap.page_of(addr) == addr // 4096
+        assert self.amap.word_of(addr) == addr // 8
+        assert self.amap.word_base(addr) == (addr // 8) * 8
+        assert self.amap.line_base(addr) == (addr // 64) * 64
+
+    def test_word_in_line(self):
+        assert self.amap.word_in_line(0x40) == 0
+        assert self.amap.word_in_line(0x48) == 1
+        assert self.amap.word_in_line(0x78) == 7
+
+    def test_bank_interleaving(self):
+        assert self.amap.bank_of(0) == 0
+        assert self.amap.bank_of(64) == 1
+        assert self.amap.bank_of(64 * 16) == 0
+
+    def test_lines_in_range(self):
+        assert self.amap.lines_in_range(0, 128) == [0, 1]
+        assert self.amap.lines_in_range(60, 8) == [0, 1]
+        assert self.amap.lines_in_range(0, 0) == []
+
+
+class TestMemoryLayout:
+    def setup_method(self):
+        self.cfg = SystemConfig(num_cores=16)
+        self.layout = MemoryLayout(self.cfg)
+
+    def test_sync_words_are_line_padded(self):
+        words = self.layout.alloc_sync_words(10)
+        lines = {w // 64 for w in words}
+        assert len(lines) == 10  # no two sync words share a line
+        for w in words:
+            assert w % 64 == 0
+
+    def test_alloc_disjoint(self):
+        a = self.layout.alloc(100)
+        b = self.layout.alloc(100)
+        assert a.end <= b.base
+
+    def test_page_aligned(self):
+        region = self.layout.alloc_page_aligned(100)
+        assert region.base % 4096 == 0
+
+    def test_region_word_indexing(self):
+        region = self.layout.alloc_array(64)
+        assert region.word(0) == region.base
+        assert region.word(7) == region.base + 56
+        with pytest.raises(IndexError):
+            region.word(8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.layout.alloc(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 4096), st.sampled_from([8, 64, 4096])),
+                    min_size=1, max_size=40))
+    def test_allocations_never_overlap(self, requests):
+        layout = MemoryLayout(SystemConfig(num_cores=16))
+        regions = [layout.alloc(size, align) for size, align in requests]
+        for r, (_, align) in zip(regions, requests):
+            assert r.base % align == 0
+        spans = sorted((r.base, r.end) for r in regions)
+        for (b1, e1), (b2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= b2

@@ -1,0 +1,44 @@
+"""Every one of the 19 application stand-ins runs under every protocol
+family (tiny scale) — no profile is allowed to rot."""
+
+import pytest
+
+from repro.harness.runner import run_config
+from repro.validation import audit_machine
+from repro.workloads.suite import APP_NAMES, get_workload
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_app_runs_under_callbacks(app):
+    result = run_config("CB-One", get_workload(app, scale=0.12),
+                        num_cores=4)
+    assert result.cycles > 0
+    assert result.stats.episode_latencies["barrier_wait"]
+
+
+@pytest.mark.parametrize("app", ["cholesky", "radix", "volrend",
+                                 "canneal"])
+@pytest.mark.parametrize("label", ["Invalidation", "BackOff-0"])
+def test_representative_apps_other_protocols(app, label):
+    result = run_config(label, get_workload(app, scale=0.12), num_cores=4)
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("app", ["barnes", "fluidanimate"])
+def test_app_runs_clean_audits(app):
+    """Invariant checkers pass after a suite run."""
+    from repro.config import config_for
+    from repro.core.machine import Machine
+    machine = Machine(config_for("CB-One", num_cores=4))
+    get_workload(app, scale=0.12).install(machine)
+    machine.run()
+    assert audit_machine(machine)
+
+
+def test_naive_regime_all_apps_sample():
+    """The naïve (ttas + sr) regime works for a cross-section of apps."""
+    for app in ("barnes", "fft", "raytrace", "streamcluster"):
+        result = run_config("CB-All",
+                            get_workload(app, "ttas", "sr", scale=0.12),
+                            num_cores=4)
+        assert result.cycles > 0

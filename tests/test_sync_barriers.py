@@ -1,0 +1,107 @@
+"""Barrier algorithms: epoch integrity under every protocol.
+
+The fundamental barrier invariant: no thread leaves episode k until every
+thread has arrived at episode k. We check it by counting arrivals per
+episode and asserting the count is complete at every departure.
+"""
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols.ops import Compute
+from repro.sync import make_barrier, make_lock, style_for
+
+LABELS = ("Invalidation", "BackOff-0", "BackOff-10", "CB-All", "CB-One")
+BARRIERS = ("sr", "treesr")
+
+
+def build_barrier(machine, name, style, threads, lock_name="ttas"):
+    if name == "sr":
+        barrier = make_barrier("sr", style, threads,
+                               lock=make_lock(lock_name, style))
+    else:
+        barrier = make_barrier(name, style, threads)
+    barrier.setup(machine.layout, threads)
+    for addr, value in barrier.initial_values().items():
+        machine.store.write(addr, value)
+    return barrier
+
+
+def run_barrier_workload(label, barrier_name, threads=4, episodes=5,
+                         skew=120):
+    cfg = config_for(label, num_cores=threads)
+    machine = Machine(cfg)
+    barrier = build_barrier(machine, barrier_name, style_for(cfg), threads)
+    arrived = [0] * episodes
+    violations = []
+
+    def body(ctx):
+        for k in range(episodes):
+            yield Compute(1 + ctx.rng.randrange(skew))
+            arrived[k] += 1
+            yield from barrier.wait(ctx)
+            if arrived[k] != threads:
+                violations.append((ctx.tid, k, arrived[k]))
+
+    machine.spawn([body] * threads)
+    stats = machine.run()
+    return stats, violations
+
+
+@pytest.mark.parametrize("label", LABELS)
+@pytest.mark.parametrize("barrier_name", BARRIERS)
+class TestEpochIntegrity:
+    def test_nobody_leaves_early(self, label, barrier_name):
+        _stats, violations = run_barrier_workload(label, barrier_name)
+        assert violations == []
+
+    def test_episode_latencies_recorded(self, label, barrier_name):
+        stats, _v = run_barrier_workload(label, barrier_name, threads=4,
+                                         episodes=3)
+        assert len(stats.episode_latencies["barrier_wait"]) == 4 * 3
+
+
+@pytest.mark.parametrize("barrier_name", BARRIERS)
+def test_sixteen_threads(barrier_name):
+    _stats, violations = run_barrier_workload("CB-One", barrier_name,
+                                              threads=16, episodes=4)
+    assert violations == []
+
+
+@pytest.mark.parametrize("label", LABELS)
+def test_many_episodes_alternate_sense_correctly(label):
+    """Back-to-back episodes exercise the sense-reversal logic hard."""
+    _stats, violations = run_barrier_workload(label, "sr", threads=4,
+                                              episodes=12, skew=5)
+    assert violations == []
+
+
+def test_tree_barrier_single_thread_degenerates():
+    _stats, violations = run_barrier_workload("CB-One", "treesr", threads=1,
+                                              episodes=3)
+    assert violations == []
+
+
+def test_atomic_sr_barrier_without_lock():
+    """The Figure 14 textbook form (fetch&dec, no companion lock)."""
+    cfg = config_for("CB-All", num_cores=4)
+    machine = Machine(cfg)
+    barrier = make_barrier("sr", style_for(cfg), 4, lock=None)
+    barrier.setup(machine.layout, 4)
+    for addr, value in barrier.initial_values().items():
+        machine.store.write(addr, value)
+    arrived = [0] * 4
+    violations = []
+
+    def body(ctx):
+        for k in range(4):
+            yield Compute(1 + ctx.rng.randrange(60))
+            arrived[k] += 1
+            yield from barrier.wait(ctx)
+            if arrived[k] != 4:
+                violations.append((ctx.tid, k))
+
+    machine.spawn([body] * 4)
+    machine.run()
+    assert violations == []

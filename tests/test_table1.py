@@ -1,0 +1,136 @@
+"""Table 1: the synchronization primitive catalogue.
+
+Each row of the paper's Table 1 maps to an op (or op combination) in
+this library; these tests pin the catalogue and each primitive's
+documented behaviour at the protocol level.
+"""
+
+import pytest
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.protocols import ops
+
+from tests.protocol_utils import issue, issue_pending
+
+ADDR = 0x4000
+
+
+def machine():
+    return Machine(config_for("CB-One", num_cores=4))
+
+
+class TestCatalogue:
+    """Every Table 1 primitive exists with the listed semantics."""
+
+    def test_ld_through_responds_immediately_and_resets_fe(self):
+        """Row 1: general conflicting load; LLC responds immediately;
+        resets the F/E bit (Section 3.3)."""
+        m = machine()
+        issue(m, 1, ops.LoadCB(ADDR))               # install an entry
+        issue(m, 2, ops.StoreThrough(ADDR, 3))      # F/E full for core 0
+        value = issue(m, 0, ops.LoadThrough(ADDR))  # never blocks
+        assert value == 3
+        entry = m.protocol.cb_dirs[m.protocol.bank_of(ADDR)].lookup(
+            m.protocol.addr_map.word_base(ADDR))
+        assert not entry.fe_full(0)
+
+    def test_ld_cb_waits_for_full(self):
+        """Row 2: subsequent (blocking) loads in spin-waiting."""
+        m = machine()
+        issue(m, 0, ops.LoadCB(ADDR))
+        fut = issue_pending(m, 0, ops.LoadCB(ADDR))
+        assert not fut.done
+
+    def test_st_cb0_services_no_callbacks(self):
+        """Row 3 (st_cb0): not used standalone, services no callbacks."""
+        m = machine()
+        issue(m, 0, ops.LoadCB(ADDR))
+        parked = issue_pending(m, 0, ops.LoadCB(ADDR))
+        issue(m, 1, ops.StoreCB0(ADDR, 1))
+        m.engine.run()
+        assert not parked.done
+
+    def test_st_cb1_services_one_callback(self):
+        """Row 4: lock release."""
+        m = machine()
+        issue(m, 3, ops.LoadCB(ADDR))
+        issue(m, 3, ops.StoreCB0(ADDR, 0))
+        parked = [issue_pending(m, c, ops.LoadCB(ADDR)) for c in (0, 1)]
+        issue(m, 3, ops.StoreCB1(ADDR, 1))
+        m.engine.run()
+        assert sum(f.done for f in parked) == 1
+
+    def test_st_through_services_all_callbacks(self):
+        """Row 5: general conflicting store / barrier release."""
+        m = machine()
+        issue(m, 3, ops.LoadCB(ADDR))
+        issue(m, 3, ops.StoreCB0(ADDR, 0))
+        parked = [issue_pending(m, c, ops.LoadCB(ADDR)) for c in (0, 1, 2)]
+        issue(m, 3, ops.StoreThrough(ADDR, 1))
+        m.engine.run()
+        assert all(f.done for f in parked)
+
+    def test_ld_and_st_cb0_is_the_ttas_guard(self):
+        """Row 6: {ld}&{st_cb0} — T&T&S lock acquire."""
+        m = machine()
+        r = issue(m, 0, ops.Atomic(ADDR, ops.AtomicKind.TAS, (0, 1),
+                                   ld=ops.LdKind.PLAIN, st=ops.StKind.CB0))
+        assert r.success
+
+    def test_ld_and_st_cb1_signals_one(self):
+        """Row 7: {ld}&{st_cb1} — Fetch&Add signalling one waiter."""
+        m = machine()
+        issue(m, 3, ops.LoadCB(ADDR))
+        issue(m, 3, ops.StoreCB0(ADDR, 0))
+        parked = [issue_pending(m, c, ops.LoadCB(ADDR)) for c in (0, 1)]
+        issue(m, 2, ops.Atomic(ADDR, ops.AtomicKind.FETCH_ADD, (1,),
+                               st=ops.StKind.CB1))
+        m.engine.run()
+        assert sum(f.done for f in parked) == 1
+
+    def test_ld_and_st_cba_is_the_barrier_fetch_add(self):
+        """Row 8: {ld}&{st_cbA} — Fetch&Add in a barrier wakes all."""
+        m = machine()
+        issue(m, 3, ops.LoadCB(ADDR))
+        issue(m, 3, ops.StoreCB0(ADDR, 0))
+        parked = [issue_pending(m, c, ops.LoadCB(ADDR)) for c in (0, 1)]
+        issue(m, 2, ops.Atomic(ADDR, ops.AtomicKind.FETCH_ADD, (1,),
+                               st=ops.StKind.CBA))
+        m.engine.run()
+        assert all(f.done for f in parked)
+
+    def test_ld_cb_and_st_cb0_is_the_spinning_tas(self):
+        """Row 9: {ld_cb}&{st_cb0} — spin-waiting T&S acquire."""
+        m = machine()
+        issue(m, 0, ops.LoadCB(ADDR))
+        issue(m, 0, ops.StoreCB0(ADDR, 1))  # lock taken
+        fut = issue_pending(m, 1, ops.Atomic(ADDR, ops.AtomicKind.TAS,
+                                             (0, 1), ld=ops.LdKind.CB,
+                                             st=ops.StKind.CB0))
+        assert not fut.done  # held in the callback directory
+        issue(m, 0, ops.StoreCB1(ADDR, 0))
+        m.engine.run()
+        assert fut.done and fut.value.success
+
+
+class TestOpDataclasses:
+    def test_atomic_defaults(self):
+        op = ops.Atomic(ADDR, ops.AtomicKind.TAS, (0, 1))
+        assert op.ld is ops.LdKind.PLAIN
+        assert op.st is ops.StKind.CBA
+
+    def test_atomic_result_fields(self):
+        r = ops.AtomicResult(old=7, success=False)
+        assert (r.old, r.success) == (7, False)
+
+    def test_fence_kinds(self):
+        assert ops.FenceKind.SELF_INVL.value == "self_invl"
+        assert ops.FenceKind.SELF_DOWN.value == "self_down"
+
+    def test_unknown_atomic_kind_rejected(self):
+        m = machine()
+        op = ops.Atomic(ADDR, ops.AtomicKind.TAS, (0, 1))
+        op.kind = "bogus"
+        with pytest.raises(ValueError):
+            m.protocol.apply_rmw(op)

@@ -1,0 +1,48 @@
+"""The repro-report CLI."""
+
+import pytest
+
+from repro.tools.report import main as report_main
+
+
+class TestReportCLI:
+    def test_app_report(self, capsys):
+        rc = report_main(["--app", "swaptions", "--config", "CB-One",
+                          "--cores", "4", "--scale", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "swaptions under CB-One" in out
+        assert "callback directory" in out
+        assert "energy (nJ)" in out
+
+    def test_lock_ubench_report(self, capsys):
+        rc = report_main(["--ubench", "lock:ttas", "--config", "BackOff-5",
+                          "--cores", "4", "--iterations", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ubench_lock_ttas under BackOff-5" in out
+        assert "episode 'lock_acquire'" in out
+
+    def test_barrier_ubench_report(self, capsys):
+        rc = report_main(["--ubench", "barrier:sr", "--config",
+                          "Invalidation", "--cores", "4",
+                          "--iterations", "2"])
+        assert rc == 0
+        assert "barrier_wait" in capsys.readouterr().out
+
+    def test_signal_wait_report(self, capsys):
+        rc = report_main(["--ubench", "signal-wait", "--config", "CB-All",
+                          "--cores", "4", "--iterations", "2"])
+        assert rc == 0
+
+    def test_unknown_ubench_rejected(self):
+        with pytest.raises(SystemExit):
+            report_main(["--ubench", "bogus:thing", "--cores", "4"])
+
+    def test_app_and_ubench_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            report_main(["--app", "barnes", "--ubench", "lock:ttas"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            report_main(["--app", "quake3"])
