@@ -12,9 +12,11 @@ from repro.harness.extensions import scaling
 
 
 def test_scaling_sweep(benchmark):
+    # The (core count x config) grid goes through the orchestrator, two
+    # simulations in flight at a time.
     out = benchmark.pedantic(
         lambda: scaling(core_counts=(4, 16, 36), app="fluidanimate",
-                        scale=0.25, verbose=False),
+                        scale=0.25, verbose=False, jobs=2),
         rounds=1, iterations=1,
     )
 

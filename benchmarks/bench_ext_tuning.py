@@ -13,10 +13,12 @@ from repro.harness.extensions import backoff_tuning
 
 
 def test_no_backoff_dominates_callbacks(benchmark):
+    # The (base x limit) grid goes through the orchestrator, two
+    # simulations in flight at a time.
     out = benchmark.pedantic(
         lambda: backoff_tuning(num_cores=BENCH_CORES, iterations=BENCH_ITERS,
                                bases=(1, 4), limits=(0, 5, 10, 15),
-                               verbose=False),
+                               verbose=False, jobs=2),
         rounds=1, iterations=1,
     )
     cb = out.pop("CB-One (untuned)")

@@ -7,6 +7,10 @@
 * :func:`link_contention` — re-runs a hot-spot workload with the optional
   per-link occupancy model to show queuing amplifies the LLC-spinning
   penalty.
+
+:func:`scaling` and :func:`backoff_tuning` submit their grids through
+:mod:`repro.orchestrate` — pass ``jobs=N`` to simulate N grid points
+concurrently and ``cache_dir=`` to reuse results across runs.
 """
 
 from __future__ import annotations
@@ -18,26 +22,38 @@ from repro.energy.power import core_power_report
 from repro.harness.reporting import format_table
 from repro.harness.runner import run_config, run_workload
 from repro.workloads.microbench import BarrierMicrobench, LockMicrobench
-from repro.workloads.suite import get_workload
 
 
 def scaling(core_counts: Sequence[int] = (4, 16, 36, 64),
             app: str = "fluidanimate", scale: float = 0.5,
             configs: Sequence[str] = ("Invalidation", "BackOff-10",
                                       "CB-One"),
-            verbose: bool = True) -> Dict[int, Dict[str, Dict[str, float]]]:
+            verbose: bool = True, jobs: int = 1,
+            cache_dir: Optional[str] = None,
+            ) -> Dict[int, Dict[str, Dict[str, float]]]:
     """Traffic/time per core count; callbacks should win more as the
-    machine grows (more spinners per value, longer mesh routes)."""
+    machine grows (more spinners per value, longer mesh routes).
+
+    The (core count x config) grid is submitted as one orchestrator
+    batch: ``jobs`` simulations run concurrently and ``cache_dir``
+    makes re-runs incremental. Results are identical at any ``jobs``.
+    """
+    from repro.orchestrate import JobSpec, run_batch
+    grid = [(cores, label) for cores in core_counts for label in configs]
+    specs = [
+        JobSpec(config_label=label, workload="app",
+                workload_params={"name": app, "scale": scale},
+                config_overrides={"num_cores": cores})
+        for cores, label in grid
+    ]
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     out: Dict[int, Dict[str, Dict[str, float]]] = {}
-    for cores in core_counts:
-        out[cores] = {}
-        for label in configs:
-            workload = get_workload(app, scale=scale)
-            result = run_config(label, workload, num_cores=cores)
-            out[cores][label] = {
-                "cycles": float(result.cycles),
-                "traffic": float(result.traffic),
-            }
+    for (cores, label), job in zip(grid, batch.results):
+        result = job.result()
+        out.setdefault(cores, {})[label] = {
+            "cycles": float(result.cycles),
+            "traffic": float(result.traffic),
+        }
     if verbose:
         for metric in ("cycles", "traffic"):
             rows = {
@@ -80,7 +96,9 @@ def power_saving(num_cores: int = 64, episodes: int = 6,
 def backoff_tuning(num_cores: int = 64, iterations: int = 6,
                    bases: Sequence[int] = (1, 2, 4, 8),
                    limits: Sequence[int] = (0, 5, 10, 15),
-                   verbose: bool = True) -> Dict[str, Dict[str, float]]:
+                   verbose: bool = True, jobs: int = 1,
+                   cache_dir: Optional[str] = None,
+                   ) -> Dict[str, Dict[str, float]]:
     """The paper's "no best back-off" claim, as an experiment.
 
     Sweeps the back-off base and exponentiation limit over a contended
@@ -88,26 +106,34 @@ def backoff_tuning(num_cores: int = 64, iterations: int = 6,
     untuned callback system. Section 1: "there is no 'best' back-off for
     both time and traffic because it is always a trade-off" — the
     callback row should not be dominated by any tuning.
+
+    The whole (base x limit) grid plus the callback baseline goes
+    through the orchestrator as one batch (``jobs`` concurrent
+    simulations, cached under ``cache_dir`` when given).
     """
+    from repro.orchestrate import JobSpec, run_batch
+    lock_params = {"lock_name": "ttas", "iterations": iterations}
+    names = [f"base={base},limit={limit}"
+             for base in bases for limit in limits]
+    specs = [
+        JobSpec(config_label=f"BackOff-{limit}", workload="lock",
+                workload_params=lock_params,
+                config_overrides={"num_cores": num_cores,
+                                  "backoff_base": base})
+        for base in bases for limit in limits
+    ]
+    names.append("CB-One (untuned)")
+    specs.append(JobSpec(config_label="CB-One", workload="lock",
+                         workload_params=lock_params,
+                         config_overrides={"num_cores": num_cores}))
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     rows: Dict[str, Dict[str, float]] = {}
-    for base in bases:
-        for limit in limits:
-            workload = LockMicrobench("ttas", iterations=iterations)
-            result = run_workload(
-                config_for(f"BackOff-{limit}", num_cores=num_cores,
-                           backoff_base=base),
-                workload,
-            )
-            rows[f"base={base},limit={limit}"] = {
-                "cycles": float(result.cycles),
-                "traffic": float(result.traffic),
-            }
-    cb = run_config("CB-One", LockMicrobench("ttas", iterations=iterations),
-                    num_cores=num_cores)
-    rows["CB-One (untuned)"] = {
-        "cycles": float(cb.cycles),
-        "traffic": float(cb.traffic),
-    }
+    for name, job in zip(names, batch.results):
+        result = job.result()
+        rows[name] = {
+            "cycles": float(result.cycles),
+            "traffic": float(result.traffic),
+        }
     if verbose:
         print(format_table("back-off tuning", ["cycles", "traffic"], rows,
                            precision=0))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import config_for
 from repro.harness.runner import RunResult, run_workload
@@ -61,12 +61,37 @@ class Replicate:
 
 def replicate(
     label: str,
-    workload_factory: Callable[[], Workload],
+    workload_factory: Optional[Callable[[], Workload]],
     metric: Callable[[RunResult], float],
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    workload_spec: Optional[str] = None,
+    workload_params: Optional[Mapping] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
     **config_overrides,
 ) -> Replicate:
-    """Run ``workload_factory()`` under ``label`` once per seed."""
+    """Run one workload under ``label`` once per seed.
+
+    Either pass ``workload_factory`` (a closure; runs serially
+    in-process) or a declarative ``workload_spec``/``workload_params``
+    pair from :mod:`repro.orchestrate.registry` — the latter allows
+    ``jobs > 1`` (seeds simulate concurrently) and ``cache_dir``
+    (re-replication only simulates missing seeds). The per-seed values
+    are identical either way.
+    """
+    if (workload_factory is None) == (workload_spec is None):
+        raise ValueError("pass exactly one of workload_factory or "
+                         "workload_spec")
+    if workload_spec is not None:
+        from repro.orchestrate import JobSpec, run_batch
+        specs = [
+            JobSpec(config_label=label, workload=workload_spec,
+                    workload_params=dict(workload_params or {}),
+                    config_overrides=dict(config_overrides), seed=seed)
+            for seed in seeds
+        ]
+        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+        return Replicate([metric(job.result()) for job in batch.results])
     values = []
     for seed in seeds:
         config = config_for(label, seed=seed, **config_overrides)
@@ -77,14 +102,17 @@ def replicate(
 
 def replicate_comparison(
     labels: Sequence[str],
-    workload_factory: Callable[[], Workload],
+    workload_factory: Optional[Callable[[], Workload]],
     metric: Callable[[RunResult], float],
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
-    **config_overrides,
+    **kwargs,
 ) -> Dict[str, Replicate]:
-    """Replicate one metric across several configurations."""
+    """Replicate one metric across several configurations.
+
+    Forwards ``workload_spec``/``jobs``/``cache_dir`` and config
+    overrides to :func:`replicate`.
+    """
     return {
-        label: replicate(label, workload_factory, metric, seeds,
-                         **config_overrides)
+        label: replicate(label, workload_factory, metric, seeds, **kwargs)
         for label in labels
     }

@@ -16,13 +16,25 @@ this engine serves ad-hoc exploration and the extension benches::
 
 ``table`` is a list of row dicts (one per grid point) ready for
 ``rows_to_table`` or JSON export.
+
+Sweeps come in two flavours:
+
+* **factory sweeps** (``workload=`` a closure, as above) run serially
+  in-process — closures cannot cross process boundaries;
+* **declarative sweeps** (``workload_spec=`` a registry name from
+  :mod:`repro.orchestrate.registry`, plus static ``spec_params``) can
+  additionally run through the orchestrator: ``run(jobs=4)`` simulates
+  four grid points at a time, and ``run(cache_dir=...)`` makes re-runs
+  incremental. Parallel results are bit-identical to serial ones — each
+  grid point is an independent, seeded simulation, and rows always come
+  back in grid order.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import config_for
 from repro.harness.reporting import format_table
@@ -38,40 +50,103 @@ class Sweep:
     """A cartesian sweep specification."""
 
     configs: Sequence[str]
-    workload: WorkloadFactory
-    metrics: Dict[str, Metric]
+    #: Factory closure (serial-only). Mutually exclusive with
+    #: ``workload_spec``.
+    workload: Optional[WorkloadFactory] = None
+    metrics: Dict[str, Metric] = field(default_factory=dict)
     #: {config_field: [values...]} — swept as a cartesian product.
     overrides: Dict[str, Sequence[Any]] = field(default_factory=dict)
     #: {workload_param: [values...]} — passed to the workload factory.
     params: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    #: Registry workload spec name (orchestrator-capable alternative to
+    #: ``workload``); swept ``params`` become workload params.
+    workload_spec: Optional[str] = None
+    #: Static workload params merged under each grid point's ``params``.
+    spec_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.workload_spec is None):
+            raise ValueError(
+                "pass exactly one of workload= (factory closure) or "
+                "workload_spec= (registry name)")
 
     def grid(self) -> List[Dict[str, Any]]:
         """All grid points as {field: value} dicts (excluding config)."""
-        keys = list(self.overrides) + list(self.params)
-        values = [self.overrides[k] for k in self.overrides] + \
-                 [self.params[k] for k in self.params]
-        if not keys:
+        overlap = sorted(set(self.overrides) & set(self.params))
+        if overlap:
+            raise ValueError(
+                f"sweep key(s) {overlap} appear in both overrides and "
+                "params; rename one — a single grid value cannot feed "
+                "both the config and the workload")
+        axes: Dict[str, Sequence[Any]] = {**self.overrides, **self.params}
+        if not axes:
             return [{}]
-        return [dict(zip(keys, combo))
-                for combo in itertools.product(*values)]
+        return [dict(zip(axes, combo))
+                for combo in itertools.product(*axes.values())]
 
-    def run(self, **base_overrides: Any) -> List[Dict[str, Any]]:
-        """Execute the sweep; returns one row dict per (config, point)."""
-        rows: List[Dict[str, Any]] = []
+    def _build_workload(self, params: Mapping[str, Any]) -> Workload:
+        if self.workload is not None:
+            return self.workload(params)
+        from repro.orchestrate.registry import build_workload
+        return build_workload(self.workload_spec,
+                              {**self.spec_params, **params})
+
+    def run(self, seed: Optional[int] = None, jobs: int = 1,
+            cache_dir: Optional[str] = None,
+            **base_overrides: Any) -> List[Dict[str, Any]]:
+        """Execute the sweep; returns one row dict per (config, point).
+
+        ``seed`` sets :attr:`SystemConfig.seed` for every run and is
+        included in each result row. ``jobs``/``cache_dir`` route the
+        sweep through :mod:`repro.orchestrate` (declarative sweeps
+        only): ``jobs`` simulations run concurrently and results are
+        cached/reused under ``cache_dir``.
+        """
+        plan = []   # (point, config_overrides, workload_params, label)
         for point in self.grid():
             config_overrides = {k: v for k, v in point.items()
                                 if k in self.overrides}
             workload_params = {k: v for k, v in point.items()
                                if k in self.params}
             for label in self.configs:
+                plan.append((point, config_overrides, workload_params,
+                             label))
+
+        seed_overrides = {} if seed is None else {"seed": seed}
+        if jobs > 1 or cache_dir is not None:
+            if self.workload_spec is None:
+                raise ValueError(
+                    "parallel/cached sweeps need workload_spec= — "
+                    "factory closures cannot cross process boundaries")
+            from repro.orchestrate import JobSpec, run_batch
+            specs = [
+                JobSpec(config_label=label, workload=self.workload_spec,
+                        workload_params={**self.spec_params,
+                                         **workload_params},
+                        config_overrides={**base_overrides,
+                                          **config_overrides},
+                        seed=seed if seed is not None else 1)
+                for (point, config_overrides, workload_params, label)
+                in plan
+            ]
+            batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+            results = [job.result() for job in batch.results]
+        else:
+            results = []
+            for point, config_overrides, workload_params, label in plan:
                 config = config_for(label, **base_overrides,
-                                    **config_overrides)
-                result = run_workload(config,
-                                      self.workload(workload_params))
-                row: Dict[str, Any] = {"config": label, **point}
-                for name, metric in self.metrics.items():
-                    row[name] = metric(result)
-                rows.append(row)
+                                    **config_overrides, **seed_overrides)
+                results.append(run_workload(
+                    config, self._build_workload(workload_params)))
+
+        rows: List[Dict[str, Any]] = []
+        for (point, _, _, label), result in zip(plan, results):
+            row: Dict[str, Any] = {"config": label, **point}
+            if seed is not None:
+                row["seed"] = seed
+            for name, metric in self.metrics.items():
+                row[name] = metric(result)
+            rows.append(row)
         return rows
 
 

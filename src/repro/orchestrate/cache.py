@@ -1,0 +1,98 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the JobSpec's
+SHA-256 content address (two-level fan-out keeps directories small for
+multi-thousand-job sweeps). Each file is one self-describing record
+(see :mod:`repro.orchestrate.record`), so the cache doubles as an
+archive: any record can be traced back to the exact spec that produced
+it, and two checkouts can be diffed mechanically.
+
+Writes go through a same-directory temp file + :func:`os.replace`, so a
+killed run never leaves a truncated record behind — a half-written job
+simply re-runs on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.orchestrate.jobspec import JobSpec
+
+
+class ResultCache:
+    """A directory of finished-job records, keyed by spec content hash."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
+        """The cached record for ``spec``, or None on miss.
+
+        A record that fails to parse, or whose embedded spec does not
+        match (hash collision or hand-edited file), counts as a miss.
+        """
+        path = self.path_for(spec.job_key())
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if record.get("spec") != spec.to_dict():
+            return None
+        return record
+
+    def put(self, spec: JobSpec, record: Dict[str, Any]) -> str:
+        """Atomically persist ``record`` under ``spec``'s key."""
+        path = self.path_for(spec.job_key())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def contains(self, spec: JobSpec) -> bool:
+        return self.get(spec) is not None
+
+    def keys(self) -> List[str]:
+        """All record keys currently on disk."""
+        found = []
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    found.append(name[:-len(".json")])
+        return found
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for key in self.keys():
+            try:
+                with open(self.path_for(key)) as handle:
+                    yield json.load(handle)
+            except (OSError, ValueError):
+                continue
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            os.unlink(self.path_for(key))
+            removed += 1
+        return removed

@@ -1,0 +1,115 @@
+"""Structured orchestration events, counters, and progress summaries.
+
+Every scheduler decision emits one :class:`Event` — job queued, started,
+finished, retried, failed, timed out, or served from cache — onto an
+in-memory :class:`EventLog` that also mirrors each event as a JSON line
+to an optional sink file (``events.jsonl`` in the cache directory, when
+there is one). The log is the orchestrator's observability surface:
+
+* ``counts`` — events per kind, e.g. ``{"finished": 12, "cache_hit": 7}``;
+* :meth:`throughput` — wall-clock time, simulated cycles executed,
+  cycles/second and jobs/second;
+* :meth:`summary` — the one-paragraph progress report the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Event kinds, in roughly the order a job can emit them.
+KINDS = ("queued", "cache_hit", "started", "finished", "retried",
+         "timeout", "failed")
+
+
+@dataclass
+class Event:
+    """One scheduler decision about one job."""
+
+    kind: str
+    job_key: str
+    label: str = ""
+    t_wall: float = field(default_factory=time.time)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "job_key": self.job_key,
+                "label": self.label, "t_wall": self.t_wall,
+                **self.detail}
+
+
+class EventLog:
+    """Append-only event stream with derived counters."""
+
+    def __init__(self, sink_path: Optional[str] = None,
+                 verbose: bool = False) -> None:
+        self.events: List[Event] = []
+        self.counts: Counter = Counter()
+        self.sink_path = sink_path
+        self.verbose = verbose
+        self.started_at = time.time()
+        self.sim_cycles = 0          # simulated cycles actually executed
+        self.cached_cycles = 0       # simulated cycles served from cache
+
+    def record(self, kind: str, job_key: str, label: str = "",
+               **detail: Any) -> Event:
+        event = Event(kind=kind, job_key=job_key, label=label,
+                      detail=detail)
+        self.events.append(event)
+        self.counts[kind] += 1
+        if kind == "finished":
+            self.sim_cycles += int(detail.get("cycles", 0))
+        elif kind == "cache_hit":
+            self.cached_cycles += int(detail.get("cycles", 0))
+        if self.sink_path:
+            with open(self.sink_path, "a") as handle:
+                handle.write(json.dumps(event.as_dict(),
+                                        sort_keys=True) + "\n")
+        if self.verbose:
+            extras = " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+            print(f"[orchestrate] {kind:<10} {label or job_key[:12]}"
+                  f"{' ' + extras if extras else ''}")
+        return event
+
+    # Derived views ------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def simulations_executed(self) -> int:
+        """Jobs that actually ran a simulation (not served from cache)."""
+        return self.counts["finished"]
+
+    @property
+    def wall_s(self) -> float:
+        return time.time() - self.started_at
+
+    def throughput(self) -> Dict[str, float]:
+        wall = max(self.wall_s, 1e-9)
+        done = self.counts["finished"] + self.counts["cache_hit"]
+        return {
+            "wall_s": wall,
+            "jobs_done": float(done),
+            "jobs_per_s": done / wall,
+            "sim_cycles": float(self.sim_cycles),
+            "sim_cycles_per_s": self.sim_cycles / wall,
+        }
+
+    def summary(self) -> str:
+        t = self.throughput()
+        c = self.counts
+        lines = [
+            f"jobs: {c['queued']} queued, {c['cache_hit']} from cache, "
+            f"{c['finished']} simulated, {c['retried']} retried, "
+            f"{c['timeout']} timed out, {c['failed']} failed",
+            f"wall-clock: {t['wall_s']:.2f}s "
+            f"({t['jobs_per_s']:.2f} jobs/s)",
+            f"simulated cycles: {self.sim_cycles:,} "
+            f"({t['sim_cycles_per_s']:,.0f} cycles/s; "
+            f"{self.cached_cycles:,} more served from cache)",
+        ]
+        return "\n".join(lines)

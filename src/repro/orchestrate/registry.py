@@ -1,0 +1,97 @@
+"""Declarative workload-spec registry.
+
+The harness's figure loops build workloads with factory closures, which
+cannot cross a process boundary. The orchestrator instead refers to
+workloads by **spec name + params dict**; this module maps those back to
+:class:`~repro.workloads.base.Workload` instances inside whichever
+process executes the job.
+
+Built-in specs (params in parentheses, all optional unless noted):
+
+``app``
+    One of the 19 application stand-ins
+    (``name`` required; ``lock_name``, ``barrier_name``, ``scale``,
+    ``input_class``).
+``lock``
+    :class:`LockMicrobench` (``lock_name``, ``iterations``,
+    ``cs_cycles``, ``outside_cycles``).
+``barrier``
+    :class:`BarrierMicrobench` (``barrier_name``, ``episodes``,
+    ``skew_cycles``, ``lock_name``).
+``signal_wait``
+    :class:`SignalWaitMicrobench` (``rounds``, ``gap_cycles``).
+``pipeline``
+    :class:`PipelineWorkload` (``items``, ``work_cycles``).
+``task_queue``
+    :class:`TaskQueueWorkload` (``tasks``, ``lock_name``,
+    ``work_cycles``, ``work_lines``).
+
+New specs register with :func:`register_workload_spec`; registration at
+import time makes them visible to forked pool workers automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.workloads.base import Workload
+from repro.workloads.extra import PipelineWorkload, TaskQueueWorkload
+from repro.workloads.microbench import (BarrierMicrobench, LockMicrobench,
+                                        SignalWaitMicrobench)
+from repro.workloads.suite import get_workload
+
+WorkloadBuilder = Callable[..., Workload]
+
+_REGISTRY: Dict[str, WorkloadBuilder] = {}
+
+
+def register_workload_spec(name: str, builder: WorkloadBuilder = None,
+                           replace: bool = False):
+    """Register ``builder`` under ``name`` (also usable as a decorator).
+
+    The builder receives the spec's params as keyword arguments and must
+    return a :class:`Workload`.
+    """
+    def _register(fn: WorkloadBuilder) -> WorkloadBuilder:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"workload spec {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if builder is None:
+        return _register
+    return _register(builder)
+
+
+def build_workload(name: str, params: Mapping[str, Any] = None) -> Workload:
+    """Instantiate the workload spec ``name`` with ``params``."""
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise ValueError(f"unknown workload spec {name!r}; "
+                         f"registered: {workload_spec_names()}")
+    return builder(**dict(params or {}))
+
+
+def workload_spec_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------- built-ins
+
+register_workload_spec("app", lambda name, **kw: get_workload(name, **kw))
+
+
+@register_workload_spec("lock")
+def _lock(lock_name: str = "ttas", **kw) -> Workload:
+    return LockMicrobench(lock_name, **kw)
+
+
+@register_workload_spec("barrier")
+def _barrier(barrier_name: str = "treesr", **kw) -> Workload:
+    return BarrierMicrobench(barrier_name, **kw)
+
+
+register_workload_spec("signal_wait",
+                       lambda **kw: SignalWaitMicrobench(**kw))
+register_workload_spec("pipeline", lambda **kw: PipelineWorkload(**kw))
+register_workload_spec("task_queue", lambda **kw: TaskQueueWorkload(**kw))

@@ -1,0 +1,338 @@
+"""The batch scheduler: parallel, cached, fault-tolerant job execution.
+
+:class:`Orchestrator` turns a list of :class:`JobSpec`s into records:
+
+* **Parallelism** — ``jobs > 1`` executes on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; ``jobs == 1`` is a
+  dependency-free serial fallback running in-process. Results are
+  bit-identical either way: each job is an independent, seeded
+  simulation, and batch output order follows input order, never
+  completion order.
+* **Caching** — with a :class:`~repro.orchestrate.cache.ResultCache`,
+  each spec's content hash is checked first; hits skip the simulation
+  entirely, so re-running a figure or resuming an interrupted sweep
+  only simulates the misses.
+* **Fault tolerance** — a job that raises is retried up to ``retries``
+  times with exponential backoff; a *crashed worker process* (the pool's
+  ``BrokenProcessPool``) costs the in-flight jobs one attempt each, the
+  pool is rebuilt, and the batch continues. Jobs that exhaust their
+  attempts are recorded as ``failed`` without sinking the batch.
+* **Timeouts** — ``timeout`` bounds each job's wall-clock. In parallel
+  mode the scheduler abandons the future at its deadline (the worker is
+  left to finish in the background and its slot is only reclaimed when
+  it does — a hard kill would take private-API process surgery); in
+  serial mode the deadline is checked after the fact. Timed-out jobs
+  are not retried (the simulator is deterministic — they would time out
+  again) and are not cached.
+
+Duplicate specs in one batch are coalesced: the simulation runs once
+and every occurrence shares the record.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import config_for
+from repro.harness.runner import run_workload
+
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.events import EventLog
+from repro.orchestrate.jobspec import JobSpec
+from repro.orchestrate.record import RecordResult, record_of
+from repro.orchestrate.registry import build_workload
+
+RunFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+#: Scheduler poll interval while waiting on in-flight futures.
+_POLL_S = 0.05
+
+
+def _is_fatal(exc: BaseException) -> bool:
+    """Deterministic spec errors (unknown label/workload/field) fail the
+    same way every time — retrying them only wastes backoff delays."""
+    return isinstance(exc, (ValueError, TypeError))
+
+
+def execute_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one JobSpec (as a dict) to its record. Top-level and
+    picklable: this is what pool workers import and call."""
+    spec = JobSpec.from_dict(spec_dict)
+    config = config_for(spec.config_label, seed=spec.seed,
+                        **spec.config_overrides)
+    workload = build_workload(spec.workload, spec.workload_params)
+    t0 = time.perf_counter()
+    result = run_workload(config, workload)
+    return record_of(spec, result, wall_s=time.perf_counter() - t0)
+
+
+@dataclass
+class JobResult:
+    """Terminal state of one job in a batch."""
+
+    spec: JobSpec
+    status: str                 # finished | cache_hit | failed | timeout
+    record: Optional[Dict[str, Any]] = None
+    error: str = ""
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("finished", "cache_hit")
+
+    def result(self) -> RecordResult:
+        if self.record is None:
+            raise RuntimeError(
+                f"job {self.spec.describe()} has no record "
+                f"(status={self.status}: {self.error})")
+        return RecordResult(self.record)
+
+
+@dataclass
+class BatchResult:
+    """All job outcomes of one :meth:`Orchestrator.run`, in input order."""
+
+    results: List[JobResult]
+    events: EventLog
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def simulations_executed(self) -> int:
+        return self.events.simulations_executed
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [r.record for r in self.results if r.record is not None]
+
+    def summary(self) -> str:
+        return self.events.summary()
+
+
+#: A pending queue entry: (spec, attempt number, earliest submit time).
+_Pending = Tuple[JobSpec, int, float]
+
+
+class Orchestrator:
+    """Executes JobSpec batches; see the module docstring for semantics.
+
+    ``retries`` counts *re*-tries: a job gets ``retries + 1`` attempts.
+    ``run_fn`` is injectable for testing (must be picklable — a
+    top-level function or :func:`functools.partial` — when ``jobs > 1``).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Union[ResultCache, str, None] = None,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 backoff_s: float = 0.05,
+                 events: Optional[EventLog] = None,
+                 run_fn: Optional[RunFn] = None,
+                 verbose: bool = False) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = ResultCache(cache) if isinstance(cache, str) else cache
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.run_fn: RunFn = run_fn or execute_job
+        if events is None:
+            sink = None
+            if self.cache is not None:
+                sink = f"{self.cache.root}/events.jsonl"
+            events = EventLog(sink_path=sink, verbose=verbose)
+        self.events = events
+
+    # ------------------------------------------------------------ public
+
+    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+        """Execute a batch; returns one JobResult per input spec."""
+        t0 = time.perf_counter()
+        unique: Dict[str, JobSpec] = {}
+        for spec in specs:
+            key = spec.job_key()
+            self.events.record("queued", key, spec.describe())
+            unique.setdefault(key, spec)
+
+        outcomes: Dict[str, JobResult] = {}
+        misses: List[JobSpec] = []
+        for key, spec in unique.items():
+            cached = self.cache.get(spec) if self.cache else None
+            if cached is not None:
+                self.events.record(
+                    "cache_hit", key, spec.describe(),
+                    cycles=cached.get("result", {}).get("cycles", 0))
+                outcomes[key] = JobResult(spec, "cache_hit", cached)
+            else:
+                misses.append(spec)
+
+        if misses:
+            if self.jobs == 1:
+                self._run_serial(misses, outcomes)
+            else:
+                self._run_parallel(misses, outcomes)
+
+        results = [outcomes[spec.job_key()] for spec in specs]
+        return BatchResult(results=results, events=self.events,
+                           wall_s=time.perf_counter() - t0)
+
+    # ------------------------------------------------------ serial path
+
+    def _run_serial(self, specs: List[JobSpec],
+                    outcomes: Dict[str, JobResult]) -> None:
+        for spec in specs:
+            key = spec.job_key()
+            attempt = 1
+            while True:
+                self.events.record("started", key, spec.describe(),
+                                   attempt=attempt)
+                t0 = time.perf_counter()
+                try:
+                    record = self.run_fn(spec.to_dict())
+                except Exception as exc:  # noqa: BLE001 — job isolation
+                    if not _is_fatal(exc) and attempt <= self.retries:
+                        self.events.record("retried", key, spec.describe(),
+                                           attempt=attempt, error=str(exc))
+                        time.sleep(self.backoff_s * 2 ** (attempt - 1))
+                        attempt += 1
+                        continue
+                    self.events.record("failed", key, spec.describe(),
+                                       attempt=attempt, error=str(exc))
+                    outcomes[key] = JobResult(spec, "failed", error=str(exc),
+                                              attempts=attempt)
+                    break
+                elapsed = time.perf_counter() - t0
+                if self.timeout is not None and elapsed > self.timeout:
+                    self.events.record("timeout", key, spec.describe(),
+                                       elapsed_s=round(elapsed, 3))
+                    outcomes[key] = JobResult(
+                        spec, "timeout", attempts=attempt,
+                        error=f"exceeded {self.timeout}s "
+                              f"(took {elapsed:.3f}s)")
+                    break
+                self._finish(spec, record, attempt, outcomes)
+                break
+
+    # ---------------------------------------------------- parallel path
+
+    def _run_parallel(self, specs: List[JobSpec],
+                      outcomes: Dict[str, JobResult]) -> None:
+        pending: List[_Pending] = [(spec, 1, 0.0) for spec in specs]
+        inflight: Dict[Future, Tuple[JobSpec, int, Optional[float]]] = {}
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                # Submit every ready entry into free slots.
+                ready = [p for p in pending if p[2] <= now]
+                while ready and len(inflight) < self.jobs:
+                    entry = ready.pop(0)
+                    pending.remove(entry)
+                    spec, attempt, _ = entry
+                    key = spec.job_key()
+                    self.events.record("started", key, spec.describe(),
+                                       attempt=attempt)
+                    future = executor.submit(self.run_fn, spec.to_dict())
+                    deadline = (now + self.timeout
+                                if self.timeout is not None else None)
+                    inflight[future] = (spec, attempt, deadline)
+                if not inflight:
+                    # Everything pending is backing off; sleep to the
+                    # earliest not-before point.
+                    time.sleep(max(_POLL_S,
+                                   min(p[2] for p in pending) - now))
+                    continue
+                done, _ = futures_wait(set(inflight), timeout=_POLL_S,
+                                       return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    spec, attempt, _ = inflight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        self._finish(spec, future.result(), attempt,
+                                     outcomes)
+                    elif isinstance(error, BrokenProcessPool):
+                        broken = True
+                        self._retry_or_fail(spec, attempt,
+                                            "worker process crashed",
+                                            pending, outcomes)
+                    else:
+                        self._retry_or_fail(spec, attempt, str(error),
+                                            pending, outcomes,
+                                            retryable=not _is_fatal(error))
+                if broken:
+                    # The pool is dead: every other in-flight job is
+                    # collateral damage — requeue each at the cost of
+                    # one attempt, then rebuild the pool.
+                    for future, (spec, attempt, _) in inflight.items():
+                        self._retry_or_fail(spec, attempt,
+                                            "worker pool broke mid-job",
+                                            pending, outcomes)
+                    inflight.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=self.jobs)
+                    continue
+                # Reap jobs past their deadline.
+                now = time.monotonic()
+                for future in [f for f, (_, _, dl) in inflight.items()
+                               if dl is not None and now > dl]:
+                    spec, attempt, _ = inflight.pop(future)
+                    future.cancel()
+                    key = spec.job_key()
+                    self.events.record("timeout", key, spec.describe(),
+                                       timeout_s=self.timeout)
+                    outcomes[key] = JobResult(
+                        spec, "timeout", attempts=attempt,
+                        error=f"exceeded {self.timeout}s")
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ----------------------------------------------------------- shared
+
+    def _finish(self, spec: JobSpec, record: Dict[str, Any], attempt: int,
+                outcomes: Dict[str, JobResult]) -> None:
+        key = spec.job_key()
+        self.events.record(
+            "finished", key, spec.describe(), attempt=attempt,
+            cycles=record.get("result", {}).get("cycles", 0),
+            wall_s=record.get("meta", {}).get("wall_s", 0.0))
+        if self.cache is not None:
+            self.cache.put(spec, record)
+        outcomes[key] = JobResult(spec, "finished", record,
+                                  attempts=attempt)
+
+    def _retry_or_fail(self, spec: JobSpec, attempt: int, error: str,
+                       pending: List[_Pending],
+                       outcomes: Dict[str, JobResult],
+                       retryable: bool = True) -> None:
+        key = spec.job_key()
+        if retryable and attempt <= self.retries:
+            self.events.record("retried", key, spec.describe(),
+                               attempt=attempt, error=error)
+            not_before = (time.monotonic()
+                          + self.backoff_s * 2 ** (attempt - 1))
+            pending.append((spec, attempt + 1, not_before))
+        else:
+            self.events.record("failed", key, spec.describe(),
+                               attempt=attempt, error=error)
+            outcomes[key] = JobResult(spec, "failed", error=error,
+                                      attempts=attempt)
+
+
+def run_batch(specs: Sequence[JobSpec], jobs: int = 1,
+              cache_dir: Optional[str] = None, **kwargs: Any) -> BatchResult:
+    """One-call convenience wrapper around :class:`Orchestrator`."""
+    return Orchestrator(jobs=jobs, cache=cache_dir, **kwargs).run(specs)

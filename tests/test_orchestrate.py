@@ -1,0 +1,382 @@
+"""The orchestration subsystem: specs, cache, scheduler, CLI."""
+
+import functools
+import json
+import os
+import time
+
+import pytest
+
+from repro.harness.replication import replicate
+from repro.harness.sweeps import Sweep
+from repro.orchestrate import (JobSpec, Orchestrator, RecordResult,
+                               ResultCache, build_workload, execute_job,
+                               run_batch)
+from repro.orchestrate.cli import build_specs, main, parse_value
+from repro.workloads.microbench import BarrierMicrobench, LockMicrobench
+
+
+def spec_for(seed=1, iterations=2, label="CB-One", **overrides):
+    overrides.setdefault("num_cores", 4)
+    return JobSpec(config_label=label, workload="lock",
+                   workload_params={"lock_name": "ttas",
+                                    "iterations": iterations},
+                   config_overrides=overrides, seed=seed)
+
+
+# Injectable run functions. Top-level (picklable) so the parallel paths
+# can ship them to pool workers.
+
+def fake_run(spec_dict):
+    spec = JobSpec.from_dict(spec_dict)
+    return {
+        "job_key": spec.job_key(),
+        "spec": spec.to_dict(),
+        "result": {"workload": spec.workload,
+                   "config": spec.config_label,
+                   "cycles": 100 + spec.seed, "traffic": 7, "llc_sync": 1,
+                   "energy": {"total_pj": 1.0},
+                   "stats": {"cycles": 100 + spec.seed,
+                             "episodes": {"lock_acquire": {"n": 1,
+                                                           "mean": 5.0}}}},
+        "meta": {"wall_s": 0.0},
+    }
+
+
+def crash_once_run(spec_dict, sentinel):
+    """Hard-kills the worker process on the first call ever (sentinel
+    file marks that the crash already happened)."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os._exit(3)
+    return fake_run(spec_dict)
+
+
+def sleepy_run(spec_dict, seconds):
+    time.sleep(seconds)
+    return fake_run(spec_dict)
+
+
+class TestJobSpec:
+    def test_key_is_stable_and_order_insensitive(self):
+        a = JobSpec("CB-One", "lock",
+                    workload_params={"a": 1, "b": 2},
+                    config_overrides={"x": 1, "y": 2}, seed=3)
+        b = JobSpec("CB-One", "lock",
+                    workload_params={"b": 2, "a": 1},
+                    config_overrides={"y": 2, "x": 1}, seed=3)
+        assert a.job_key() == b.job_key()
+        assert len(a.job_key()) == 64
+
+    def test_key_depends_on_every_field(self):
+        base = spec_for()
+        assert base.job_key() != spec_for(seed=2).job_key()
+        assert base.job_key() != spec_for(iterations=3).job_key()
+        assert base.job_key() != spec_for(label="CB-All").job_key()
+        assert base.job_key() != spec_for(num_cores=16).job_key()
+
+    def test_roundtrip(self):
+        spec = spec_for(seed=4)
+        again = JobSpec.from_dict(json.loads(
+            json.dumps(spec.to_dict())))
+        assert again.job_key() == spec.job_key()
+
+    def test_seed_override_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            JobSpec("CB-One", "lock", config_overrides={"seed": 2})
+
+
+class TestRegistry:
+    def test_builds_registered_specs(self):
+        lock = build_workload("lock", {"lock_name": "clh",
+                                       "iterations": 3})
+        assert isinstance(lock, LockMicrobench)
+        assert lock.lock_name == "clh" and lock.iterations == 3
+        barrier = build_workload("barrier", {"barrier_name": "sr"})
+        assert isinstance(barrier, BarrierMicrobench)
+        app = build_workload("app", {"name": "barnes", "scale": 0.25})
+        assert app.name == "barnes"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown workload spec"):
+            build_workload("nope", {})
+
+
+class TestCache:
+    def test_round_trip_and_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = spec_for()
+        assert cache.get(spec) is None
+        record = fake_run(spec.to_dict())
+        path = cache.put(spec, record)
+        assert os.path.exists(path)
+        assert cache.get(spec) == record
+        assert cache.get(spec_for(seed=9)) is None
+        assert cache.keys() == [spec.job_key()]
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = spec_for()
+        cache.put(spec, fake_run(spec.to_dict()))
+        with open(cache.path_for(spec.job_key()), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(spec) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec, other = spec_for(), spec_for(seed=2)
+        # Simulate a collision/hand-edit: other's record under spec's key.
+        record = fake_run(other.to_dict())
+        cache.put(spec, record)
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for seed in (1, 2, 3):
+            spec = spec_for(seed=seed)
+            cache.put(spec, fake_run(spec.to_dict()))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestExecuteJob:
+    def test_real_simulation_record(self):
+        record = execute_job(spec_for().to_dict())
+        assert record["job_key"] == spec_for().job_key()
+        result = record["result"]
+        assert result["cycles"] > 0 and result["config"] == "CB-One"
+        view = RecordResult(record)
+        assert view.cycles == result["cycles"]
+        assert view.episode_mean("lock_acquire") > 0
+        assert view.energy.total > 0
+
+
+class TestOrchestratorSerial:
+    def test_cache_hit_miss_round_trip(self, tmp_path):
+        specs = [spec_for(seed=s) for s in (1, 2, 3)]
+        first = run_batch(specs, cache_dir=str(tmp_path), run_fn=fake_run)
+        assert first.ok and first.simulations_executed == 3
+        # Second run: everything from cache, zero simulations executed.
+        second = run_batch(specs, cache_dir=str(tmp_path),
+                           run_fn=fake_run)
+        assert second.ok and second.simulations_executed == 0
+        assert second.events.counts["cache_hit"] == 3
+        assert [r.record["result"] for r in second.results] \
+            == [r.record["result"] for r in first.results]
+        # A new seed is the only miss on a third, extended run.
+        third = run_batch(specs + [spec_for(seed=4)],
+                          cache_dir=str(tmp_path), run_fn=fake_run)
+        assert third.simulations_executed == 1
+
+    def test_retry_after_injected_failure(self):
+        calls = []
+
+        def flaky(spec_dict):
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("injected crash")
+            return fake_run(spec_dict)
+
+        batch = Orchestrator(retries=2, backoff_s=0.001,
+                             run_fn=flaky).run([spec_for()])
+        (job,) = batch.results
+        assert job.ok and job.attempts == 3
+        assert batch.events.counts["retried"] == 2
+
+    def test_exhausted_retries_do_not_sink_the_batch(self):
+        def doomed(spec_dict):
+            spec = JobSpec.from_dict(spec_dict)
+            if spec.seed == 2:
+                raise RuntimeError("always fails")
+            return fake_run(spec_dict)
+
+        batch = Orchestrator(retries=1, backoff_s=0.001,
+                             run_fn=doomed).run(
+            [spec_for(seed=s) for s in (1, 2, 3)])
+        assert [r.status for r in batch.results] \
+            == ["finished", "failed", "finished"]
+        assert not batch.ok
+        (failed,) = batch.failed
+        assert failed.attempts == 2 and "always fails" in failed.error
+        with pytest.raises(RuntimeError, match="always fails"):
+            failed.result()
+
+    def test_deterministic_errors_fail_fast(self):
+        def bad(spec_dict):
+            raise ValueError("unknown configuration label: 'CB-Two'")
+
+        batch = Orchestrator(retries=2, run_fn=bad).run([spec_for()])
+        (job,) = batch.results
+        assert job.status == "failed" and job.attempts == 1
+        assert batch.events.counts["retried"] == 0
+
+    def test_timeout_recorded_and_not_cached(self, tmp_path):
+        batch = Orchestrator(
+            cache=str(tmp_path), timeout=0.01,
+            run_fn=functools.partial(sleepy_run, seconds=0.05),
+        ).run([spec_for()])
+        (job,) = batch.results
+        assert job.status == "timeout" and not job.ok
+        assert batch.events.counts["timeout"] == 1
+        assert len(ResultCache(str(tmp_path))) == 0
+
+    def test_duplicate_specs_simulate_once(self):
+        batch = run_batch([spec_for(), spec_for()], run_fn=fake_run)
+        assert batch.simulations_executed == 1
+        assert batch.results[0].record is batch.results[1].record
+
+    def test_events_narrate_the_batch(self, tmp_path):
+        run_batch([spec_for()], cache_dir=str(tmp_path), run_fn=fake_run)
+        sink = tmp_path / "events.jsonl"
+        kinds = [json.loads(line)["kind"]
+                 for line in sink.read_text().splitlines()]
+        assert kinds == ["queued", "started", "finished"]
+
+
+class TestOrchestratorParallel:
+    def test_worker_crash_is_retried(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        batch = Orchestrator(
+            jobs=2, retries=2, backoff_s=0.001,
+            run_fn=functools.partial(crash_once_run, sentinel=sentinel),
+        ).run([spec_for(seed=s) for s in (1, 2, 3)])
+        assert batch.ok, [r.error for r in batch.failed]
+        assert os.path.exists(sentinel)
+        assert batch.events.counts["retried"] >= 1
+
+    def test_parallel_timeout(self):
+        batch = Orchestrator(
+            jobs=2, timeout=0.2,
+            run_fn=functools.partial(sleepy_run, seconds=0.8),
+        ).run([spec_for()])
+        (job,) = batch.results
+        assert job.status == "timeout"
+
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        """jobs=4 must produce bit-identical records to serial runs."""
+        specs = [spec_for(seed=s, label=label)
+                 for s in (1, 2) for label in ("CB-One", "Invalidation")]
+        serial = run_batch(specs)
+        parallel = run_batch(specs, jobs=4,
+                             cache_dir=str(tmp_path / "cache"))
+        assert serial.ok and parallel.ok
+        for left, right in zip(serial.results, parallel.results):
+            assert left.record["result"] == right.record["result"]
+
+
+class TestSweepIntegration:
+    def make_sweep(self, **kwargs):
+        defaults = dict(
+            configs=["CB-One", "Invalidation"],
+            workload_spec="lock",
+            spec_params={"lock_name": "ttas"},
+            params={"iterations": [1, 2]},
+            metrics={"cycles": lambda r: r.cycles,
+                     "traffic": lambda r: r.traffic},
+        )
+        defaults.update(kwargs)
+        return Sweep(**defaults)
+
+    def test_overlapping_keys_raise(self):
+        sweep = self.make_sweep(overrides={"iterations": [1]})
+        with pytest.raises(ValueError, match="iterations"):
+            sweep.grid()
+
+    def test_exactly_one_workload_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Sweep(configs=["CB-One"], metrics={})
+        with pytest.raises(ValueError, match="exactly one"):
+            Sweep(configs=["CB-One"], workload=lambda p: None,
+                  workload_spec="lock", metrics={})
+
+    def test_seed_plumbs_through_and_lands_in_rows(self):
+        sweep = self.make_sweep(params={"iterations": [2]})
+        rows3 = sweep.run(seed=3, num_cores=4)
+        rows4 = sweep.run(seed=4, num_cores=4)
+        assert all(row["seed"] == 3 for row in rows3)
+        assert all(row["seed"] == 4 for row in rows4)
+        # The seed genuinely reaches the simulation.
+        assert [r["cycles"] for r in rows3] != [r["cycles"] for r in rows4]
+
+    def test_parallel_sweep_requires_declarative_workload(self):
+        sweep = self.make_sweep(
+            workload=lambda p: LockMicrobench("ttas", iterations=1),
+            workload_spec=None, spec_params={})
+        with pytest.raises(ValueError, match="workload_spec"):
+            sweep.run(jobs=2, num_cores=4)
+
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        sweep = self.make_sweep()
+        serial = sweep.run(seed=2, num_cores=4)
+        parallel = sweep.run(seed=2, num_cores=4, jobs=4,
+                             cache_dir=str(tmp_path))
+        assert serial == parallel
+        # And the cached re-run is also identical.
+        assert sweep.run(seed=2, num_cores=4,
+                         cache_dir=str(tmp_path)) == serial
+
+
+class TestReplicateIntegration:
+    def test_spec_path_matches_factory_path(self, tmp_path):
+        seeds = (1, 2, 3)
+        factory = replicate(
+            "CB-One", lambda: LockMicrobench("ttas", iterations=2),
+            lambda r: float(r.cycles), seeds=seeds, num_cores=4)
+        spec = replicate(
+            "CB-One", None, lambda r: float(r.cycles), seeds=seeds,
+            workload_spec="lock",
+            workload_params={"lock_name": "ttas", "iterations": 2},
+            jobs=2, cache_dir=str(tmp_path), num_cores=4)
+        assert factory.values == spec.values
+
+    def test_exactly_one_workload_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            replicate("CB-One", None, lambda r: 0.0)
+
+
+class TestCLI:
+    def test_parse_value(self):
+        assert parse_value("3") == 3
+        assert parse_value("0.5") == 0.5
+        assert parse_value("true") is True
+        assert parse_value("ttas") == "ttas"
+
+    def run_args(self, tmp_path, *extra):
+        return ["run", "--workload", "lock:ttas", "--configs",
+                "CB-One,Invalidation", "--seeds", "1,2", "--cores", "4",
+                "--param", "iterations=2", "--jobs", "4",
+                "--cache-dir", str(tmp_path / "cache"), *extra]
+
+    def test_build_specs_cartesian(self, tmp_path):
+        import argparse
+        args = argparse.Namespace(
+            workload="lock:ttas", configs="CB-One,Invalidation",
+            seeds="1,2", cores=4, param=["iterations=2"],
+            override=["cb_entries_per_bank=1,4"])
+        specs = build_specs(args)
+        assert len(specs) == 8  # 2 configs x 2 seeds x 2 override values
+        assert {s.config_overrides["cb_entries_per_bank"]
+                for s in specs} == {1, 4}
+        assert all(s.workload_params == {"lock_name": "ttas",
+                                         "iterations": 2} for s in specs)
+
+    def test_run_then_resume_from_cache(self, tmp_path, capsys):
+        batch_file = str(tmp_path / "batch.json")
+        json_out = str(tmp_path / "records.json")
+        assert main(self.run_args(tmp_path, "--batch-out", batch_file,
+                                  "--json", json_out)) == 0
+        first = capsys.readouterr().out
+        assert "4 simulated" in first
+        with open(json_out) as handle:
+            assert len(json.load(handle)) == 4
+        # Second invocation: the whole batch completes from cache.
+        assert main(["resume", batch_file, "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        second = capsys.readouterr().out
+        assert "4 from cache, 0 simulated" in second
+        # Inspect reports full coverage.
+        assert main(["inspect", batch_file, "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        assert "4/4 jobs cached" in capsys.readouterr().out
