@@ -44,6 +44,8 @@ class Core:
         self.start_cycle: Optional[int] = None
         self.finish_cycle: Optional[int] = None
         self._gen: Optional[Generator] = None
+        #: Telemetry probe bus (set when a Telemetry attaches), else None.
+        self.obs = None
 
     def start(self, gen: Generator) -> None:
         """Begin executing ``gen`` at the current cycle."""
@@ -79,6 +81,9 @@ class Core:
         elif isinstance(op, ops.BackoffWait):
             delay = self.config.backoff_delay(op.attempt)
             self.stats.backoff_cycles += delay
+            if self.obs is not None:
+                self.obs.emit("spin.backoff", core=self.core_id,
+                              attempt=op.attempt, delay=delay)
             self.engine.schedule(max(1, delay), lambda: self._resume(None))
         else:
             self.protocol.issue(self.core_id, op).add_callback(self._resume)

@@ -10,7 +10,7 @@ over the parallel section only.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core.core import Core
@@ -23,14 +23,25 @@ from repro.protocols.base import CoherenceProtocol
 from repro.sim.engine import DeadlockError, Engine
 from repro.sim.stats import Stats
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
+
 #: A thread body: takes its context, returns an op generator.
 ThreadBody = Callable[[ThreadContext], Generator]
 
 
 class Machine:
-    """A complete simulated CMP for one run."""
+    """A complete simulated CMP for one run.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``telemetry`` opts the run into the observability layer
+    (:mod:`repro.obs`): the probe bus is handed to every component and
+    the configured collectors (sampler, span recorder, profiler) start.
+    Left ``None`` (the default), every probe site is a dormant ``is
+    None`` check and results are bit-identical to an instrumented run.
+    """
+
+    def __init__(self, config: SystemConfig,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.config = config
         self.engine = Engine()
         self.stats = Stats()
@@ -49,6 +60,11 @@ class Machine:
         ]
         self._remaining = 0
         self._started = False
+        #: The probe bus when telemetry is attached, else None.
+        self.obs = None
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self)
 
     def _core_done(self, core_id: int) -> None:
         self._remaining -= 1
@@ -65,7 +81,8 @@ class Machine:
         self._started = True
         self._remaining = len(bodies)
         for tid, body in enumerate(bodies):
-            ctx = ThreadContext(tid, self.config, self.engine, self.stats)
+            ctx = ThreadContext(tid, self.config, self.engine, self.stats,
+                                obs=self.obs)
             self._cores[tid].start(body(ctx))
 
     def run(self) -> Stats:
@@ -82,11 +99,14 @@ class Machine:
                 f"{blocked} at cycle {self.engine.now}"
             )
         self.stats.cycles = self.engine.now
+        if self.telemetry is not None:
+            self.telemetry.finish()
         return self.stats
 
 
-def run_threads(config: SystemConfig, bodies: Sequence[ThreadBody]) -> Stats:
+def run_threads(config: SystemConfig, bodies: Sequence[ThreadBody],
+                telemetry: Optional["Telemetry"] = None) -> Stats:
     """Convenience: build a machine, spawn ``bodies``, run, return stats."""
-    machine = Machine(config)
+    machine = Machine(config, telemetry=telemetry)
     machine.spawn(bodies)
     return machine.run()

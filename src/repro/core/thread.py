@@ -21,14 +21,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ThreadContext:
-    """Per-thread view of the machine, handed to workload generators."""
+    """Per-thread view of the machine, handed to workload generators.
+
+    ``obs`` is the telemetry probe bus when the machine has one attached,
+    else None; every telemetry helper below is a no-op in that case.
+    """
 
     def __init__(self, tid: int, config: SystemConfig, engine: "Engine",
-                 stats: Stats) -> None:
+                 stats: Stats, obs=None) -> None:
         self.tid = tid
         self.config = config
         self.engine = engine
         self.stats = stats
+        self.obs = obs
         self.rng = random.Random(config.seed * 65537 + tid)
 
     @property
@@ -44,3 +49,24 @@ class ThreadContext:
         """Record a completed synchronization episode's latency."""
         self.stats.record_episode(category, self.engine.now - start_cycle,
                                   tid=self.tid)
+        if self.obs is not None:
+            self.obs.emit("sync.episode", category=category, tid=self.tid,
+                          start=start_cycle, end=self.engine.now)
+
+    # ------------------------------------------------- telemetry helpers
+
+    def span_begin(self, name: str, **args) -> None:
+        """Open a named span on this thread's timeline (e.g. a lock-hold
+        window between acquire and release)."""
+        if self.obs is not None:
+            self.obs.emit("span.begin", name=name, tid=self.tid, **args)
+
+    def span_end(self, name: str, **args) -> None:
+        """Close the span opened by :meth:`span_begin`."""
+        if self.obs is not None:
+            self.obs.emit("span.end", name=name, tid=self.tid, **args)
+
+    def mark(self, name: str, **args) -> None:
+        """Drop a zero-width instant on this thread's timeline."""
+        if self.obs is not None:
+            self.obs.emit("mark", name=name, tid=self.tid, **args)

@@ -3,13 +3,26 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.config import SystemConfig, config_for
 from repro.core.machine import Machine
 from repro.energy.model import EnergyBreakdown, energy_of
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.sim.stats import Stats
 from repro.workloads.base import Workload
+
+#: What callers may pass as ``telemetry=``: nothing, a config describing
+#: what to collect, or a ready-made (unattached) Telemetry object.
+TelemetryArg = Optional[Union[Telemetry, TelemetryConfig]]
+
+
+def _as_telemetry(telemetry: TelemetryArg) -> Optional[Telemetry]:
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, TelemetryConfig):
+        return Telemetry(telemetry) if telemetry.enabled else None
+    return telemetry
 
 
 @dataclass
@@ -20,6 +33,8 @@ class RunResult:
     config_label: str
     stats: Stats
     energy: EnergyBreakdown
+    #: The run's telemetry collectors, when requested (else None).
+    telemetry: Optional[Telemetry] = None
 
     @property
     def cycles(self) -> int:
@@ -39,9 +54,18 @@ class RunResult:
         return self.stats.episode_mean(category)
 
 
-def run_workload(config: SystemConfig, workload: Workload) -> RunResult:
-    """Simulate ``workload`` on a machine built from ``config``."""
-    machine = Machine(config)
+def run_workload(config: SystemConfig, workload: Workload,
+                 telemetry: TelemetryArg = None) -> RunResult:
+    """Simulate ``workload`` on a machine built from ``config``.
+
+    ``telemetry`` opts the run into observability: pass a
+    :class:`~repro.obs.telemetry.TelemetryConfig` (or a prepared
+    :class:`~repro.obs.telemetry.Telemetry`) and the attached collectors
+    come back on ``RunResult.telemetry``. The default (None) runs fully
+    uninstrumented and is bit-identical to the untelemetered simulator.
+    """
+    telemetry = _as_telemetry(telemetry)
+    machine = Machine(config, telemetry=telemetry)
     workload.install(machine)
     stats = machine.run()
     return RunResult(
@@ -49,9 +73,12 @@ def run_workload(config: SystemConfig, workload: Workload) -> RunResult:
         config_label=config.label(),
         stats=stats,
         energy=energy_of(stats),
+        telemetry=telemetry,
     )
 
 
-def run_config(name: str, workload: Workload, **overrides) -> RunResult:
+def run_config(name: str, workload: Workload,
+               telemetry: TelemetryArg = None, **overrides) -> RunResult:
     """Run under a paper configuration label ("Invalidation", ...)."""
-    return run_workload(config_for(name, **overrides), workload)
+    return run_workload(config_for(name, **overrides), workload,
+                        telemetry=telemetry)

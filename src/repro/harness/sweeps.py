@@ -33,12 +33,14 @@ Sweeps come in two flavours:
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import config_for
 from repro.harness.reporting import format_table
 from repro.harness.runner import RunResult, run_workload
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.workloads.base import Workload
 
 Metric = Callable[[RunResult], float]
@@ -93,6 +95,8 @@ class Sweep:
 
     def run(self, seed: Optional[int] = None, jobs: int = 1,
             cache_dir: Optional[str] = None,
+            telemetry: Optional[TelemetryConfig] = None,
+            telemetry_dir: Optional[str] = None,
             **base_overrides: Any) -> List[Dict[str, Any]]:
         """Execute the sweep; returns one row dict per (config, point).
 
@@ -101,6 +105,14 @@ class Sweep:
         sweep through :mod:`repro.orchestrate` (declarative sweeps
         only): ``jobs`` simulations run concurrently and results are
         cached/reused under ``cache_dir``.
+
+        ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryConfig`)
+        instruments every grid point; with ``telemetry_dir`` each
+        point's Perfetto trace and sampled series are written next to
+        the results (``<label>__<point>.trace.json`` / ``.series.json``)
+        and the row gains a ``telemetry`` key pointing at them.
+        Telemetry collectors live in the simulating process, so
+        telemetered sweeps are serial-only.
         """
         plan = []   # (point, config_overrides, workload_params, label)
         for point in self.grid():
@@ -113,6 +125,11 @@ class Sweep:
                              label))
 
         seed_overrides = {} if seed is None else {"seed": seed}
+        if telemetry is not None and telemetry.enabled and (
+                jobs > 1 or cache_dir is not None):
+            raise ValueError(
+                "telemetry= sweeps are serial-only: collectors live in "
+                "the simulating process, so drop jobs=/cache_dir=")
         if jobs > 1 or cache_dir is not None:
             if self.workload_spec is None:
                 raise ValueError(
@@ -136,8 +153,12 @@ class Sweep:
             for point, config_overrides, workload_params, label in plan:
                 config = config_for(label, **base_overrides,
                                     **config_overrides, **seed_overrides)
+                run_telemetry = (Telemetry(telemetry)
+                                 if telemetry is not None
+                                 and telemetry.enabled else None)
                 results.append(run_workload(
-                    config, self._build_workload(workload_params)))
+                    config, self._build_workload(workload_params),
+                    telemetry=run_telemetry))
 
         rows: List[Dict[str, Any]] = []
         for (point, _, _, label), result in zip(plan, results):
@@ -146,8 +167,36 @@ class Sweep:
                 row["seed"] = seed
             for name, metric in self.metrics.items():
                 row[name] = metric(result)
+            run_telemetry = getattr(result, "telemetry", None)
+            if run_telemetry is not None and telemetry_dir is not None:
+                row["telemetry"] = _persist_telemetry(
+                    telemetry_dir, label, point, run_telemetry)
             rows.append(row)
         return rows
+
+
+def _point_slug(label: str, point: Mapping[str, Any]) -> str:
+    parts = [label] + [f"{k}={point[k]}" for k in sorted(point)]
+    slug = "__".join(parts)
+    return "".join(c if c.isalnum() or c in "=_.-" else "-" for c in slug)
+
+
+def _persist_telemetry(directory: str, label: str, point: Mapping[str, Any],
+                       telemetry: Telemetry) -> Dict[str, str]:
+    """Write one grid point's trace/series next to the sweep results."""
+    os.makedirs(directory, exist_ok=True)
+    slug = _point_slug(label, point)
+    written: Dict[str, str] = {}
+    if telemetry.spans is not None or telemetry.sampler is not None:
+        trace_path = os.path.join(directory, f"{slug}.trace.json")
+        telemetry.write_perfetto(trace_path, label=slug)
+        written["trace"] = trace_path
+    if telemetry.sampler is not None:
+        series_path = os.path.join(directory, f"{slug}.series.json")
+        with open(series_path, "w") as handle:
+            telemetry.sampler.to_json(handle)
+        written["series"] = series_path
+    return written
 
 
 def rows_to_table(rows: Sequence[Mapping[str, Any]],

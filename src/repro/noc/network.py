@@ -39,6 +39,13 @@ class Network:
                                   config.mesh_side)
         # (src_tile, dst_tile) directed link -> busy-until cycle.
         self._link_busy: dict = {}
+        #: Telemetry probe bus (set when a Telemetry attaches), else None.
+        self.obs = None
+        #: When telemetry is attached, delivery handlers are wrapped to
+        #: maintain the flits-in-flight gauge. The wrapping changes only
+        #: handler identity, never (time, seq) ordering.
+        self.track_inflight = False
+        self.inflight_flits = 0
 
     def message_latency(self, src: int, dst: int, kind: MsgKind) -> int:
         """Cycles from injection at ``src`` to delivery at ``dst``."""
@@ -75,6 +82,18 @@ class Network:
             # Local delivery: count the message for protocol-level
             # message-count assertions, but it contributes no traffic.
             self.stats.record_message(kind.value, flits, 0, size)
+        if self.track_inflight and hops > 0:
+            self.inflight_flits += flits
+            inner = handler
+
+            def handler() -> None:
+                self.inflight_flits -= flits
+                inner()
+
+        if self.obs is not None:
+            self.obs.emit("noc.send", src=src, dst=dst, kind=kind.value,
+                          flits=flits, hops=hops, latency=latency,
+                          sync=sync)
         self.engine.schedule(latency, handler)
         return latency
 

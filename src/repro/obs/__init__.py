@@ -1,0 +1,22 @@
+"""repro.obs — cycle-domain telemetry for the simulator.
+
+Probe bus + metrics registry + time-series sampler + span recorder +
+Perfetto export + host profiler. See docs/observability.md.
+"""
+
+from repro.obs.bus import ProbeBus
+from repro.obs.export import (chrome_trace, trace_events_to_spans,
+                              validate_chrome_trace, write_chrome_trace)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import HostProfiler, component_label
+from repro.obs.sampler import DEFAULT_COUNTERS, TimeSeriesSampler
+from repro.obs.spans import Instant, Span, SpanRecorder, load_spans
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+
+__all__ = [
+    "ProbeBus", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "TimeSeriesSampler", "DEFAULT_COUNTERS", "SpanRecorder", "Span",
+    "Instant", "load_spans", "chrome_trace", "write_chrome_trace",
+    "trace_events_to_spans", "validate_chrome_trace", "HostProfiler",
+    "component_label", "Telemetry", "TelemetryConfig",
+]

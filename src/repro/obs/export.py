@@ -1,0 +1,189 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and validation.
+
+The Chrome trace-event format (the ``traceEvents`` JSON that
+https://ui.perfetto.dev and ``chrome://tracing`` load directly) maps
+naturally onto the simulator's cycle domain:
+
+* complete spans -> ``ph: "X"`` events with ``ts``/``dur`` in cycles
+  (the viewer's "microseconds" read as cycles — 1 us == 1 cycle);
+* open spans -> matched ``ph: "B"`` / ``ph: "E"`` pairs;
+* instants -> ``ph: "i"`` with thread scope;
+* sampled counter series -> ``ph: "C"`` counter tracks, rendered by
+  Perfetto as stacked area charts (the LLC spin storm, directory
+  occupancy, parked cores over time);
+* track naming -> ``ph: "M"`` ``process_name``/``thread_name`` metadata.
+
+Tracks like ``thread/3`` / ``core/3`` / ``bank/1`` are grouped into one
+process per track family. :func:`validate_chrome_trace` checks the
+invariants the tests and CI assert: per-track monotonic timestamps,
+non-negative durations, and B/E events that nest and balance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import Instant, Span
+
+#: Track-family -> synthetic pid (Perfetto groups rows by process).
+_FAMILY_PIDS = {"thread": 1, "core": 2, "bank": 3, "counters": 4, "host": 5}
+_FAMILY_NAMES = {
+    "thread": "threads (sync episodes)",
+    "core": "cores (parked / spinning)",
+    "bank": "callback directory banks",
+    "counters": "sampled counters",
+    "host": "host",
+}
+
+
+def _track_ids(track: str) -> Tuple[int, int]:
+    """(pid, tid) of a ``family/index`` track string."""
+    family, _, index = track.partition("/")
+    pid = _FAMILY_PIDS.get(family, 9)
+    try:
+        tid = int(index)
+    except ValueError:
+        tid = abs(hash(index)) % 10_000
+    return pid, tid
+
+
+def chrome_trace(spans: Sequence[Span] = (),
+                 instants: Sequence[Instant] = (),
+                 series: Optional[Dict[str, List[float]]] = None,
+                 label: str = "repro") -> Dict[str, Any]:
+    """Render spans/instants/sampled series as a trace-event document."""
+    events: List[Dict[str, Any]] = []
+    seen_tracks: Dict[str, None] = {}
+
+    for span in spans:
+        pid, tid = _track_ids(span.track)
+        seen_tracks.setdefault(span.track)
+        base = {"name": span.name, "cat": span.cat, "pid": pid, "tid": tid,
+                "args": span.args}
+        if span.end is not None:
+            events.append({**base, "ph": "X", "ts": span.start,
+                           "dur": span.end - span.start})
+        else:
+            events.append({**base, "ph": "B", "ts": span.start})
+
+    for instant in instants:
+        pid, tid = _track_ids(instant.track)
+        seen_tracks.setdefault(instant.track)
+        events.append({"name": instant.name, "cat": instant.cat,
+                       "ph": "i", "s": "t", "ts": instant.ts,
+                       "pid": pid, "tid": tid, "args": instant.args})
+
+    if series:
+        cycles = series.get("cycle", [])
+        pid = _FAMILY_PIDS["counters"]
+        for name, values in series.items():
+            if name == "cycle":
+                continue
+            for cycle, value in zip(cycles, values):
+                events.append({"name": name, "cat": "counter", "ph": "C",
+                               "ts": cycle, "pid": pid, "tid": 0,
+                               "args": {"value": value}})
+
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+
+    meta: List[Dict[str, Any]] = []
+    families = {track.partition("/")[0] for track in seen_tracks}
+    if series:
+        families.add("counters")
+    for family in sorted(families):
+        pid = _FAMILY_PIDS.get(family, 9)
+        meta.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                     "args": {"name": _FAMILY_NAMES.get(family, family)}})
+    for track in seen_tracks:
+        pid, tid = _track_ids(track)
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": track}})
+
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": label, "time_unit": "cycles"},
+    }
+
+
+def write_chrome_trace(path: str, **kwargs: Any) -> Dict[str, Any]:
+    doc = chrome_trace(**kwargs)
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+    return doc
+
+
+# ------------------------------------------------------------- conversions
+
+def trace_events_to_spans(trace_events: Iterable[Any]) -> List[Instant]:
+    """Memory-op trace (repro.trace.recorder) -> per-core instants.
+
+    Accepts :class:`~repro.trace.recorder.TraceEvent` objects or their
+    JSONL dicts; every issued op becomes an instant on its core's track,
+    with racy ops categorised ``racy`` so Perfetto can filter the race
+    traffic the paper's Section 2.2 argues about.
+    """
+    from repro.trace.recorder import RACY_KINDS
+    instants: List[Instant] = []
+    for event in trace_events:
+        if isinstance(event, dict):
+            time, core = event["time"], event["core"]
+            kind, addr = event["kind"], event["addr"]
+        else:
+            time, core = event.time, event.core
+            kind, addr = event.kind, event.addr
+        cat = "racy" if kind in RACY_KINDS else "op"
+        instants.append(Instant(kind, cat, f"core/{core}", time,
+                                {"addr": addr}))
+    return instants
+
+
+# --------------------------------------------------------------- validation
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Check trace-event invariants; returns a list of problems (empty =
+    valid): per-track monotonic ``ts``, ``dur >= 0`` on X events, B/E
+    balanced and properly nested per track."""
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Any, float] = {}
+    stacks: Dict[Any, List[Any]] = {}
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None or "name" not in event:
+            problems.append(f"event {index}: missing ph/name")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index} ({event['name']}): bad ts {ts!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(track, 0):
+            problems.append(
+                f"event {index} ({event['name']}): ts {ts} < previous "
+                f"{last_ts[track]} on track {track}")
+        last_ts[track] = ts
+        if ph == "X":
+            if event.get("dur", -1) < 0:
+                problems.append(
+                    f"event {index} ({event['name']}): X without dur >= 0")
+        elif ph == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                problems.append(
+                    f"event {index} ({event['name']}): E without open B "
+                    f"on track {track}")
+            else:
+                stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(f"track {track}: {len(stack)} unclosed B "
+                            f"event(s): {stack[:3]}")
+    return problems

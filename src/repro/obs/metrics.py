@@ -1,0 +1,177 @@
+"""Labelled counters, gauges, and histograms.
+
+A small Prometheus-flavoured metrics vocabulary for the telemetry layer:
+
+* :class:`Counter` — monotonically increasing int;
+* :class:`Gauge` — a settable value *or* a live callable probe (the
+  sampler reads callable gauges every window: callback-directory
+  occupancy, parked cores, flits in flight);
+* :class:`Histogram` — power-of-two bucketed distribution with exact
+  count/sum/min/max and a nearest-rank percentile over bucket midpoints.
+
+A :class:`MetricsRegistry` keys instruments by ``(name, labels)``;
+``snapshot()`` renders everything to a plain JSON-able dict that the
+exporters persist next to traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; either set explicitly or backed by a probe
+    callable that is evaluated on every read."""
+
+    __slots__ = ("name", "labels", "_value", "_fn")
+
+    def __init__(self, name: str, labels: Labels = (),
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise RuntimeError(f"gauge {self.name} is probe-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative samples.
+
+    Bucket ``i`` counts samples in ``[2**i, 2**(i+1))`` (bucket 0 holds
+    zeros and ones). That resolution matches what the latency figures
+    need — order-of-magnitude tails — at O(1) memory.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets: List[int] = []
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0: {value}")
+        index = max(0, int(value).bit_length() - 1) if value >= 1 else 0
+        if index >= len(self.buckets):
+            self.buckets.extend([0] * (index + 1 - len(self.buckets)))
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over bucket lower bounds (exact to
+        within one power of two)."""
+        if not (0.0 < pct <= 100.0):
+            raise ValueError(f"percentile out of range: {pct}")
+        if not self.count:
+            return 0.0
+        rank = max(1, -(-int(pct * self.count) // 100))  # ceil
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= rank:
+                return float(2 ** index)
+        return float(self.max or 0)  # pragma: no cover
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, Labels], Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"{name}{dict(key[1])} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels: Any) -> Gauge:
+        gauge = self._get(Gauge, name, labels, fn=fn)
+        if fn is not None and gauge._fn is None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def gauges(self) -> List[Gauge]:
+        return [i for i in self._instruments.values()
+                if isinstance(i, Gauge)]
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every instrument's current value as JSON-able dicts."""
+        out: List[Dict[str, Any]] = []
+        for instrument in self._instruments.values():
+            entry: Dict[str, Any] = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+                "kind": type(instrument).__name__.lower(),
+            }
+            if isinstance(instrument, Histogram):
+                entry.update(count=instrument.count, sum=instrument.total,
+                             min=instrument.min, max=instrument.max,
+                             mean=instrument.mean,
+                             p50=instrument.percentile(50),
+                             p99=instrument.percentile(99))
+            else:
+                entry["value"] = instrument.value
+            out.append(entry)
+        return out

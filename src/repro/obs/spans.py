@@ -1,0 +1,213 @@
+"""Span recording: sync episodes and callback-entry lifetimes as timelines.
+
+A *span* is a named interval on a *track* — ``thread/3`` for per-thread
+activity (lock acquire/hold, barrier waits, signal waits), ``bank/0`` for
+callback-directory entry lifetimes (install -> evict), ``core/5`` for a
+core parked in the directory or in a MESI spin watch. An *instant* is a
+zero-width mark (a signal post, a barrier arrival, an invalidation).
+
+The recorder is a pure bus collector: it subscribes to probe topics and
+never touches the engine, so recording cannot perturb simulated time.
+Everything exports to JSONL (:meth:`SpanRecorder.to_jsonl`) and, via
+:mod:`repro.obs.export`, to Perfetto-loadable Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.bus import ProbeBus
+
+
+@dataclass
+class Span:
+    """One interval on one track; ``end is None`` while still open."""
+
+    name: str
+    cat: str
+    track: str
+    start: int
+    end: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        return (self.end - self.start) if self.end is not None else 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "span", "name": self.name, "cat": self.cat,
+                "track": self.track, "start": self.start, "end": self.end,
+                "args": self.args}
+
+
+@dataclass
+class Instant:
+    """One zero-width mark on one track."""
+
+    name: str
+    cat: str
+    track: str
+    ts: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "instant", "name": self.name, "cat": self.cat,
+                "track": self.track, "ts": self.ts, "args": self.args}
+
+
+class SpanRecorder:
+    """Collects spans/instants from probe topics into flat lists."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        # (track, name-key) -> index into self.spans for open spans.
+        self._open: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def complete(self, name: str, cat: str, track: str, start: int,
+                 end: int, **args: Any) -> Span:
+        span = Span(name, cat, track, start, end, args)
+        self.spans.append(span)
+        return span
+
+    def begin(self, name: str, cat: str, track: str, ts: int,
+              key: Optional[str] = None, **args: Any) -> None:
+        """Open a span; a still-open span under the same (track, key) is
+        closed first (self-healing against lost end probes)."""
+        open_key = (track, key or name)
+        if open_key in self._open:
+            self.end(name, track, ts, key=key, lost=True)
+        self._open[open_key] = len(self.spans)
+        self.spans.append(Span(name, cat, track, ts, None, args))
+
+    def end(self, name: str, track: str, ts: int,
+            key: Optional[str] = None, **args: Any) -> None:
+        """Close the open span under (track, key); unmatched ends are
+        dropped (e.g. a release observed without its acquire)."""
+        index = self._open.pop((track, key or name), None)
+        if index is None:
+            return
+        span = self.spans[index]
+        span.end = ts
+        if args:
+            span.args.update(args)
+
+    def instant(self, name: str, cat: str, track: str, ts: int,
+                **args: Any) -> None:
+        self.instants.append(Instant(name, cat, track, ts, args))
+
+    def close_open(self, ts: int) -> int:
+        """End every still-open span at ``ts`` (end of run); returns how
+        many were closed. Closed spans are tagged ``truncated``."""
+        closed = 0
+        for index in self._open.values():
+            span = self.spans[index]
+            span.end = ts
+            span.args["truncated"] = True
+            closed += 1
+        self._open.clear()
+        return closed
+
+    # ---------------------------------------------------- bus subscriptions
+
+    def install(self, bus: ProbeBus) -> None:
+        """Wire the standard probe topics into span/instant records."""
+        bus.subscribe("sync.episode", self._on_episode)
+        bus.subscribe("span.begin", self._on_begin)
+        bus.subscribe("span.end", self._on_end)
+        bus.subscribe("mark", self._on_mark)
+        bus.subscribe("cb.install", self._on_cb_install)
+        bus.subscribe("cb.evict", self._on_cb_evict)
+        bus.subscribe("cb.park", self._on_park)
+        bus.subscribe("cb.wake", self._on_wake)
+        bus.subscribe("spin.park", self._on_park)
+        bus.subscribe("spin.wake", self._on_wake)
+
+    def _on_episode(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        self.complete(f["category"], "sync", f"thread/{f['tid']}",
+                      f["start"], f["end"])
+
+    def _on_begin(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        f = dict(f)
+        name = f.pop("name")
+        tid = f.pop("tid")
+        self.begin(name, "sync", f"thread/{tid}", cycle, **f)
+
+    def _on_end(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        f = dict(f)
+        name = f.pop("name")
+        tid = f.pop("tid")
+        self.end(name, f"thread/{tid}", cycle, **f)
+
+    def _on_mark(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        f = dict(f)
+        name = f.pop("name")
+        tid = f.pop("tid")
+        self.instant(name, "sync", f"thread/{tid}", cycle, **f)
+
+    # Callback-entry lifetime: install -> (parks/wakes on cores) -> evict.
+
+    def _on_cb_install(self, topic: str, cycle: int,
+                       f: Dict[str, Any]) -> None:
+        self.begin(f"entry {f['word']:#x}", "cbdir", f"bank/{f['bank']}",
+                   cycle, key=f"entry/{f['word']}", word=f["word"])
+
+    def _on_cb_evict(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        self.end(f"entry {f['word']:#x}", f"bank/{f['bank']}", cycle,
+                 key=f"entry/{f['word']}", woken=f.get("woken", 0))
+
+    # A parked core (callback directory or MESI spin watch) is a span on
+    # its core track: the window the paper says it "can easily go into a
+    # power-saving mode" for.
+
+    def _on_park(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        kind = "parked" if topic.startswith("cb.") else "spinning"
+        self.begin(f"{kind} {f['word']:#x}", topic.split(".")[0],
+                   f"core/{f['core']}", cycle, key=f"park/{f['core']}",
+                   word=f["word"])
+
+    def _on_wake(self, topic: str, cycle: int, f: Dict[str, Any]) -> None:
+        self.end("", f"core/{f['core']}", cycle, key=f"park/{f['core']}",
+                 **{k: v for k, v in f.items() if k not in ("core", "word")})
+
+    # -------------------------------------------------------------- export
+
+    def by_category(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.cat] = counts.get(span.cat, 0) + 1
+        for instant in self.instants:
+            counts[instant.cat] = counts.get(instant.cat, 0) + 1
+        return counts
+
+    def to_jsonl(self, stream: IO[str]) -> None:
+        for span in self.spans:
+            stream.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+        for instant in self.instants:
+            stream.write(json.dumps(instant.as_dict(), sort_keys=True) + "\n")
+
+
+def load_spans(stream: IO[str]) -> SpanRecorder:
+    """Rebuild a recorder from :meth:`SpanRecorder.to_jsonl` output."""
+    recorder = SpanRecorder()
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        item = json.loads(line)
+        kind = item.pop("type")
+        if kind == "span":
+            recorder.spans.append(Span(item["name"], item["cat"],
+                                       item["track"], item["start"],
+                                       item["end"], item.get("args", {})))
+        elif kind == "instant":
+            recorder.instants.append(Instant(item["name"], item["cat"],
+                                             item["track"], item["ts"],
+                                             item.get("args", {})))
+        else:
+            raise ValueError(f"unknown span record type: {kind}")
+    return recorder

@@ -112,7 +112,10 @@ def _execute(specs: List[JobSpec], args: argparse.Namespace) -> int:
     orchestrator = Orchestrator(jobs=args.jobs, cache=args.cache_dir,
                                 timeout=args.timeout, retries=args.retries,
                                 verbose=args.verbose)
-    batch = orchestrator.run(specs)
+    try:
+        batch = orchestrator.run(specs)
+    finally:
+        orchestrator.events.close()
     _print_batch(batch, quiet=args.quiet)
     if args.json:
         with open(args.json, "w") as handle:

@@ -42,17 +42,30 @@ class Event:
 
 
 class EventLog:
-    """Append-only event stream with derived counters."""
+    """Append-only event stream with derived counters.
+
+    The sink file is opened once (append mode) and held for the log's
+    lifetime — one ``open()`` per *batch*, not per event. Call
+    :meth:`close` (idempotent) when the batch is done; :meth:`flush`
+    makes the file durable mid-run for live tailing.
+
+    ``bus`` optionally mirrors every event onto a telemetry
+    :class:`~repro.obs.bus.ProbeBus` as ``orchestrate.<kind>`` topics,
+    making the orchestrator one more producer on the same bus the
+    simulator probes feed.
+    """
 
     def __init__(self, sink_path: Optional[str] = None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False, bus=None) -> None:
         self.events: List[Event] = []
         self.counts: Counter = Counter()
         self.sink_path = sink_path
         self.verbose = verbose
+        self.bus = bus
         self.started_at = time.time()
         self.sim_cycles = 0          # simulated cycles actually executed
         self.cached_cycles = 0       # simulated cycles served from cache
+        self._sink = open(sink_path, "a") if sink_path else None
 
     def record(self, kind: str, job_key: str, label: str = "",
                **detail: Any) -> Event:
@@ -64,15 +77,28 @@ class EventLog:
             self.sim_cycles += int(detail.get("cycles", 0))
         elif kind == "cache_hit":
             self.cached_cycles += int(detail.get("cycles", 0))
-        if self.sink_path:
-            with open(self.sink_path, "a") as handle:
-                handle.write(json.dumps(event.as_dict(),
+        if self._sink is not None:
+            self._sink.write(json.dumps(event.as_dict(),
                                         sort_keys=True) + "\n")
+        if self.bus is not None:
+            self.bus.emit(f"orchestrate.{kind}", _cycle=0, job_key=job_key,
+                          label=label, **detail)
         if self.verbose:
             extras = " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
             print(f"[orchestrate] {kind:<10} {label or job_key[:12]}"
                   f"{' ' + extras if extras else ''}")
         return event
+
+    def flush(self) -> None:
+        """Push buffered sink lines to the OS (for live ``tail -f``)."""
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and release the sink handle; safe to call twice."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
 
     # Derived views ------------------------------------------------------
 

@@ -186,6 +186,7 @@ class Orchestrator:
                 self._run_parallel(misses, outcomes)
 
         results = [outcomes[spec.job_key()] for spec in specs]
+        self.events.flush()
         return BatchResult(results=results, events=self.events,
                            wall_s=time.perf_counter() - t0)
 

@@ -65,6 +65,8 @@ class CoherenceProtocol:
         self.banks = [BankPort() for _ in range(config.num_banks)]
         # Lines whose data is resident in the LLC (first touch pays DRAM).
         self._llc_present: set = set()
+        #: Telemetry probe bus (set when a Telemetry attaches), else None.
+        self.obs = None
 
     # ------------------------------------------------------------------ API
 
@@ -180,6 +182,13 @@ class CoherenceProtocol:
             old, wrote = self.store.compare_and_swap(op.addr, expect, new)
             return ops.AtomicResult(old, wrote)
         raise ValueError(f"unknown atomic kind: {kind}")
+
+    def parked_cores(self) -> int:
+        """How many hardware threads are blocked waiting for a wakeup
+        right now — callback waiters or MESI spin watches. The telemetry
+        layer samples this as the ``cores_parked`` gauge; the base
+        protocol has no parking mechanism."""
+        return 0
 
     def resolve_later(self, future: Future, delay: int, value=None) -> None:
         """Resolve ``future`` after ``delay`` cycles (always via the engine,

@@ -37,6 +37,8 @@ class CallbackDirectory:
         self._cache = SetAssociativeCache(
             sets=sets, ways=config.cb_entries_per_bank // sets)
         self._rng = random.Random(config.seed * 1009 + bank)
+        #: Telemetry probe bus (set when a Telemetry attaches), else None.
+        self.obs = None
 
     def lookup(self, word: int) -> Optional[CBEntry]:
         """The entry for a word address, or None. Does not install."""
@@ -54,11 +56,16 @@ class CallbackDirectory:
         entry = CBEntry(word, self.config.num_threads)
         _inserted, victim = self._cache.insert(word, entry)
         self.stats.cb_installs += 1
+        if self.obs is not None:
+            self.obs.emit("cb.install", word=word, bank=self.bank)
         evicted: List[Waiter] = []
         if victim is not None:
             self.stats.cb_evictions += 1
             evicted = victim.payload.evict()
             self.stats.cb_eviction_wakeups += len(evicted)
+            if self.obs is not None:
+                self.obs.emit("cb.evict", word=victim.payload.word,
+                              bank=self.bank, woken=len(evicted))
         return entry, evicted
 
     def victim_word(self, victim_entry: CBEntry) -> int:
@@ -108,6 +115,10 @@ class CallbackDirectory:
         """Entries with at least one pending callback right now."""
         return sum(1 for entry in self._cache
                    if entry.payload.has_callbacks())
+
+    def parked_waiters(self) -> int:
+        """Total callbacks pending across all resident entries."""
+        return sum(len(entry.payload.waiters) for entry in self._cache)
 
     def note_activity(self) -> None:
         """Update the peak-active-entries gauge (called after a park)."""

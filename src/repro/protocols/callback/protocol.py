@@ -51,8 +51,15 @@ class CallbackProtocol(VIPSProtocol):
         # The core was quiescent from park to wake — the window in which
         # it could have slept (Section 2.1's power-saving observation).
         self.stats.cb_parked_cycles += max(0, self.engine.now - waiter.since)
+        if self.obs is not None:
+            self.obs.emit("cb.wake", core=waiter.core, word=word, bank=bank,
+                          parked=self.engine.now - waiter.since)
         value = self.store.read(word)
         waiter.wake(value)
+
+    def parked_cores(self) -> int:
+        """Threads currently parked in the callback directory."""
+        return sum(d.parked_waiters() for d in self.cb_dirs)
 
     def _drain_evicted(self, bank: int, evicted: List[Waiter]) -> None:
         """Answer callbacks orphaned by a directory replacement with the
@@ -93,6 +100,8 @@ class CallbackProtocol(VIPSProtocol):
                         lambda: future.resolve(value)),
                     self.engine.now,
                 ))
+                if self.obs is not None:
+                    self.obs.emit("cb.park", core=core, word=word, bank=bank)
                 directory.note_activity()
 
         self.network.send(self.l1_of(core), bank, MsgKind.LOAD_CB, at_bank,
@@ -179,6 +188,8 @@ class CallbackProtocol(VIPSProtocol):
                                                            op, future)),
                     self.engine.now,
                 ))
+                if self.obs is not None:
+                    self.obs.emit("cb.park", core=core, word=word, bank=bank)
                 directory.note_activity()
 
         self.network.send(self.l1_of(core), bank, MsgKind.LOAD_CB, at_bank,

@@ -129,6 +129,9 @@ class MESIProtocol(CoherenceProtocol):
             self.stats.spin_iterations += iters
             self.stats.l1_accesses += iters
             self.stats.l1_hits += iters
+            if self.obs is not None:
+                self.obs.emit("spin.wake", core=watch.tid,
+                              word=watch.word_addr, iters=iters)
             # The spin loop reloads immediately (invalidate-and-refetch).
             self.engine.schedule(
                 1, lambda w=watch: self._spin_attempt(w.tid, w.word_addr,
@@ -152,6 +155,9 @@ class MESIProtocol(CoherenceProtocol):
                 self.stats.spin_iterations += iters
                 self.stats.l1_accesses += iters
                 self.stats.l1_hits += iters
+                if self.obs is not None:
+                    self.obs.emit("spin.wake", core=watch.tid,
+                                  word=watch.word_addr, iters=iters)
                 self.resolve_later(watch.future, self.config.l1_latency,
                                    value)
             else:
@@ -319,6 +325,9 @@ class MESIProtocol(CoherenceProtocol):
 
         for sharer in sharers:
             self.stats.invalidations_sent += 1
+            if self.obs is not None:
+                self.obs.emit("mesi.inv", line=line, sharer=sharer,
+                              requester=node)
 
             def make_inv(s: int) -> Callable[[], None]:
                 def at_sharer() -> None:
@@ -469,6 +478,13 @@ class MESIProtocol(CoherenceProtocol):
         watch.tid = tid
         bucket = self._watches.setdefault(self.l1_of(tid), {})
         bucket.setdefault(line, []).append(watch)
+        if self.obs is not None:
+            self.obs.emit("spin.park", core=tid, word=word_addr)
+
+    def parked_cores(self) -> int:
+        """Threads blocked in a SpinUntil watch right now."""
+        return sum(len(watches) for per_line in self._watches.values()
+                   for watches in per_line.values())
 
     # ------------------------------------------------------------ data side
 

@@ -150,6 +150,9 @@ class VIPSProtocol(CoherenceProtocol):
             )
             self.stats.self_invalidations += 1
             self.stats.lines_self_invalidated += len(removed)
+            if self.obs is not None:
+                self.obs.emit("vips.self_invl", core=core,
+                              lines=len(removed))
             self.resolve_later(future, 1 + flush_delay)
         elif op.kind is ops.FenceKind.SELF_DOWN:
             flush_delay = self._flush_dirty_shared(core)

@@ -8,6 +8,19 @@ deterministic ordering of all activity in the simulated machine.
 Determinism matters for reproducibility of the paper's experiments: two
 events scheduled for the same cycle fire in the order they were scheduled
 (FIFO tie-breaking via a monotonically increasing sequence number).
+
+Telemetry hooks (repro.obs) ride on two engine features that are inert
+unless used:
+
+* **daemon events** (``schedule(..., daemon=True)``) fire like normal
+  events but do not keep the simulation alive: :meth:`run` stops once
+  only daemon events remain, and the clock never advances past the last
+  live event. The time-series sampler uses these for its cycle-window
+  ticks, which is what keeps sampled runs bit-identical to unsampled
+  ones.
+* an optional **step hook** (:attr:`profile_hook`) that, when set, is
+  handed each popped callback instead of the engine calling it directly;
+  the wall-clock profiler uses it to attribute host time by component.
 """
 
 from __future__ import annotations
@@ -27,9 +40,9 @@ class DeadlockError(SimulationError):
 class Engine:
     """A minimal deterministic discrete-event scheduler.
 
-    Events are ``(time, seq, callback)`` triples in a binary heap. ``seq``
-    breaks ties so that same-cycle events run in scheduling order, making
-    runs bit-reproducible regardless of callback identity.
+    Events are ``(time, seq, callback, daemon)`` tuples in a binary heap.
+    ``seq`` breaks ties so that same-cycle events run in scheduling order,
+    making runs bit-reproducible regardless of callback identity.
     """
 
     def __init__(self) -> None:
@@ -37,53 +50,79 @@ class Engine:
         self._seq = 0
         self.now = 0
         self._running = False
+        self._live = 0
+        #: When set, :meth:`step` calls ``profile_hook(callback)`` instead
+        #: of ``callback()`` — the hook must invoke the callback exactly
+        #: once (see repro.obs.profiler).
+        self.profile_hook: Optional[Callable[[Callable[[], None]], None]] = None
 
-    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 daemon: bool = False) -> None:
         """Run ``callback`` ``delay`` cycles from the current time.
 
         ``delay`` must be non-negative; a zero delay runs the callback later
         in the same cycle (after already-queued same-cycle events).
+        ``daemon`` events observe the simulation without keeping it alive.
         """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback,
+                                     daemon))
         self._seq += 1
+        if not daemon:
+            self._live += 1
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: int, callback: Callable[[], None],
+                    daemon: bool = False) -> None:
         """Run ``callback`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        heapq.heappush(self._queue, (time, self._seq, callback, daemon))
         self._seq += 1
+        if not daemon:
+            self._live += 1
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
+        """Number of events still queued (daemon events included)."""
         return len(self._queue)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of non-daemon events still queued."""
+        return self._live
 
     def step(self) -> bool:
         """Run the single next event. Returns False if the queue is empty."""
         if not self._queue:
             return False
-        time, _seq, callback = heapq.heappop(self._queue)
+        time, _seq, callback, daemon = heapq.heappop(self._queue)
         if time < self.now:
             raise SimulationError("event heap corrupted: time moved backwards")
         self.now = time
-        callback()
+        if not daemon:
+            self._live -= 1
+        hook = self.profile_hook
+        if hook is None:
+            callback()
+        else:
+            hook(callback)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
 
-        Stops when the queue is empty, when the clock would pass ``until``,
-        or after ``max_events`` events (a watchdog against runaway
-        simulations, e.g. livelocked spin loops). Returns the number of
-        events executed.
+        Stops when no *live* (non-daemon) events remain, when the clock
+        would pass ``until``, or after ``max_events`` events (a watchdog
+        against runaway simulations, e.g. livelocked spin loops). Trailing
+        daemon events — e.g. a sampler tick beyond the last real event —
+        are left unexecuted so the clock ends at the last live event.
+        Returns the number of events executed.
         """
         executed = 0
         self._running = True
         try:
-            while self._queue:
+            while self._live > 0:
                 if until is not None and self._queue[0][0] > until:
                     break
                 if max_events is not None and executed >= max_events:

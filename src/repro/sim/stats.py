@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, fields
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -127,44 +128,32 @@ class Stats:
         that back-off's *occasional* huge overshoot (the p99, not the
         mean) is what "misses the target".
         """
-        samples = sorted(self.episode_latencies.get(category, ()))
-        if not samples:
-            return 0.0
-        if not (0.0 < pct <= 100.0):
-            raise ValueError(f"percentile out of range: {pct}")
-        rank = max(1, math.ceil(pct / 100.0 * len(samples)))
-        return float(samples[rank - 1])
+        return _percentile_sorted(
+            sorted(self.episode_latencies.get(category, ())), pct)
 
     def episode_summary(self, category: str) -> Dict[str, float]:
         """n/mean/p50/p95/p99/max of one episode category."""
-        samples = self.episode_latencies.get(category, ())
+        samples = sorted(self.episode_latencies.get(category, ()))
         if not samples:
             return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
                     "p99": 0.0, "max": 0.0}
         return {
             "n": len(samples),
             "mean": sum(samples) / len(samples),
-            "p50": self.episode_percentile(category, 50),
-            "p95": self.episode_percentile(category, 95),
-            "p99": self.episode_percentile(category, 99),
-            "max": float(max(samples)),
+            "p50": _percentile_sorted(samples, 50),
+            "p95": _percentile_sorted(samples, 95),
+            "p99": _percentile_sorted(samples, 99),
+            "max": float(samples[-1]),
         }
 
     def merge(self, other: "Stats") -> None:
-        """Accumulate another run's counters into this one (for suites)."""
-        for name in (
-            "l1_accesses", "l1_hits", "l1_misses", "llc_accesses",
-            "llc_tag_accesses", "llc_data_accesses", "llc_misses",
-            "mem_accesses", "llc_sync_accesses", "messages", "flits",
-            "flit_hops", "byte_hops", "invalidations_sent",
-            "invalidation_acks", "writebacks", "forwards",
-            "self_invalidations", "self_downgrades",
-            "lines_self_invalidated", "words_written_through",
-            "cb_installs", "cb_evictions", "cb_eviction_wakeups",
-            "cb_blocked_reads", "cb_immediate_reads", "cb_wakeups",
-            "spin_iterations", "backoff_cycles", "llc_spin_probes",
-            "cb_parked_cycles", "cycles",
-        ):
+        """Accumulate another run's counters into this one (for suites).
+
+        The summed-field set is derived from the dataclass fields (see
+        :func:`int_field_names`) so a newly added counter can never be
+        silently dropped from suite aggregation.
+        """
+        for name in summed_field_names():
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.cb_max_active_entries = max(self.cb_max_active_entries,
                                          other.cb_max_active_entries)
@@ -187,3 +176,35 @@ class Stats:
             "byte_hops": self.byte_hops,
             "mem_accesses": self.mem_accesses,
         }
+
+    def counters(self) -> Dict[str, int]:
+        """Every plain int counter as a dict (drives the obs sampler)."""
+        return {name: getattr(self, name) for name in int_field_names()}
+
+
+def _percentile_sorted(samples: Sequence[int], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not (0.0 < pct <= 100.0):
+        raise ValueError(f"percentile out of range: {pct}")
+    if not samples:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(samples)))
+    return float(samples[rank - 1])
+
+
+#: Fields that merge by max rather than by sum.
+MAX_MERGED_FIELDS = ("cb_max_active_entries",)
+
+
+@lru_cache(maxsize=None)
+def int_field_names() -> Tuple[str, ...]:
+    """Every plain-int counter field of :class:`Stats`, in declaration
+    order (annotations are strings here because of PEP 563)."""
+    return tuple(f.name for f in fields(Stats) if f.type == "int")
+
+
+@lru_cache(maxsize=None)
+def summed_field_names() -> Tuple[str, ...]:
+    """The int fields that :meth:`Stats.merge` accumulates by addition."""
+    return tuple(name for name in int_field_names()
+                 if name not in MAX_MERGED_FIELDS)

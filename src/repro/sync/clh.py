@@ -96,6 +96,7 @@ class CLHLock(SyncPrimitive):
                 value = yield LoadCB(self._succ_wait(prev))
             yield Fence(FenceKind.SELF_INVL)
         ctx.record_episode("lock_acquire", start)
+        ctx.span_begin("lock_hold", lock=type(self).__name__)
 
     # ---------------------------------------------------------------- release
 
@@ -112,3 +113,4 @@ class CLHLock(SyncPrimitive):
             yield StoreThrough(self._succ_wait(node), 0)
         # st I, $p — recycle the predecessor's node as our own.
         self._node_of[ctx.tid] = prev
+        ctx.span_end("lock_hold")

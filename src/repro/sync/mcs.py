@@ -120,19 +120,23 @@ class MCSLock(SyncPrimitive):
         if self.style is not SyncStyle.MESI:
             yield Fence(FenceKind.SELF_INVL)
         ctx.record_episode("lock_acquire", start)
+        ctx.span_begin("lock_hold", lock=type(self).__name__)
 
     def release(self, ctx):
         self._require_ready()
         node = self._node_of[ctx.tid]
-        if self.style is not SyncStyle.MESI:
-            yield Fence(FenceKind.SELF_DOWN)
-        successor = yield LoadThrough(self._next(node))
-        if successor == NIL:
-            result = yield Atomic(self.tail_addr, AtomicKind.CAS,
-                                  (node, NIL))
-            if result.success:
-                return
-            # A successor is between swap and link: wait for the link.
-            successor = yield from self._spin_not_equals(self._next(node),
-                                                         NIL)
-        yield from self._signal(self._locked(successor), 0)
+        try:
+            if self.style is not SyncStyle.MESI:
+                yield Fence(FenceKind.SELF_DOWN)
+            successor = yield LoadThrough(self._next(node))
+            if successor == NIL:
+                result = yield Atomic(self.tail_addr, AtomicKind.CAS,
+                                      (node, NIL))
+                if result.success:
+                    return
+                # A successor is between swap and link: wait for the link.
+                successor = yield from self._spin_not_equals(
+                    self._next(node), NIL)
+            yield from self._signal(self._locked(successor), 0)
+        finally:
+            ctx.span_end("lock_hold")

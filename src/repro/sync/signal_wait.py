@@ -49,6 +49,7 @@ class SignalWait(SyncPrimitive):
             yield Fence(FenceKind.SELF_DOWN)
             yield Atomic(self.counter_addr, AtomicKind.FETCH_ADD, (1,),
                          ld=LdKind.PLAIN, st=StKind.CB1)
+        ctx.mark("signal.post")
 
     # ------------------------------------------------------------------ wait
 

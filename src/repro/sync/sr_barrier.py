@@ -58,6 +58,7 @@ class SRBarrier(SyncPrimitive):
         """One barrier episode for thread ``ctx.tid``."""
         self._require_ready()
         start = ctx.now
+        ctx.mark("barrier.arrive")
         sense = 1 - self._local_sense[ctx.tid]
         self._local_sense[ctx.tid] = sense
 
@@ -88,6 +89,7 @@ class SRBarrier(SyncPrimitive):
                 value = yield LoadCB(self.sense_addr)
             yield Fence(FenceKind.SELF_INVL)
         ctx.record_episode("barrier_wait", start)
+        ctx.mark("barrier.leave")
 
     def _decrement_atomic(self, ctx):
         """Figure 14's f&d; returns True for the last arrival."""

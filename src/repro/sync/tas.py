@@ -47,6 +47,7 @@ class TASLock(SyncPrimitive):
         else:
             yield from self._acquire_cb(StKind.CB0)
         ctx.record_episode("lock_acquire", start)
+        ctx.span_begin("lock_hold", lock=type(self).__name__)
 
     def _acquire_mesi(self):
         while True:
@@ -89,3 +90,4 @@ class TASLock(SyncPrimitive):
         else:
             yield Fence(FenceKind.SELF_DOWN)
             yield StoreCB1(self.addr, 0)
+        ctx.span_end("lock_hold")

@@ -67,17 +67,21 @@ class TicketLock(SyncPrimitive):
                 value = yield LoadCB(self.now_serving_addr)
             yield Fence(FenceKind.SELF_INVL)
         ctx.record_episode("lock_acquire", start)
+        ctx.span_begin("lock_hold", lock=type(self).__name__)
         return ticket
 
     def release(self, ctx):
         self._require_ready()
-        if self.style is SyncStyle.MESI:
-            value = yield Load(self.now_serving_addr)
-            yield Store(self.now_serving_addr, value + 1)
-            return
-        yield Fence(FenceKind.SELF_DOWN)
-        value = yield LoadThrough(self.now_serving_addr)
-        if self.release_kind is StKind.CB1:
-            yield StoreCB1(self.now_serving_addr, value + 1)
-        else:
-            yield StoreThrough(self.now_serving_addr, value + 1)
+        try:
+            if self.style is SyncStyle.MESI:
+                value = yield Load(self.now_serving_addr)
+                yield Store(self.now_serving_addr, value + 1)
+                return
+            yield Fence(FenceKind.SELF_DOWN)
+            value = yield LoadThrough(self.now_serving_addr)
+            if self.release_kind is StKind.CB1:
+                yield StoreCB1(self.now_serving_addr, value + 1)
+            else:
+                yield StoreThrough(self.now_serving_addr, value + 1)
+        finally:
+            ctx.span_end("lock_hold")

@@ -39,6 +39,7 @@ class TTASLock(SyncPrimitive):
         else:
             yield from self._acquire_cb(StKind.CB0)
         ctx.record_episode("lock_acquire", start)
+        ctx.span_begin("lock_hold", lock=type(self).__name__)
 
     def _acquire_mesi(self):
         # acq: ld $r, L; bnez $r, acq  — local spin until free,
@@ -90,3 +91,4 @@ class TTASLock(SyncPrimitive):
         else:
             yield Fence(FenceKind.SELF_DOWN)
             yield StoreCB1(self.addr, 0)
+        ctx.span_end("lock_hold")

@@ -47,6 +47,15 @@ class FakeCtx:
     def record_episode(self, category, start):
         pass
 
+    def span_begin(self, name, **args):
+        pass
+
+    def span_end(self, name, **args):
+        pass
+
+    def mark(self, name, **args):
+        pass
+
 
 def make_lock(cls, style, threads=4):
     layout = MemoryLayout(SystemConfig(num_cores=4))
