@@ -15,7 +15,8 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 from repro.config import (PAPER_CONFIGS, CallbackMode, Protocol, SystemConfig,
                           WakePolicy, config_for)
 from repro.core.machine import Machine, run_threads
-from repro.sim.engine import DeadlockError, SimulationError
+from repro.sim.engine import (DeadlockError, LivenessError,
+                              SimulationError, SimulationTimeout)
 from repro.sim.stats import Stats
 
 __version__ = "1.0.0"
@@ -23,10 +24,12 @@ __version__ = "1.0.0"
 __all__ = [
     "CallbackMode",
     "DeadlockError",
+    "LivenessError",
     "Machine",
     "PAPER_CONFIGS",
     "Protocol",
     "SimulationError",
+    "SimulationTimeout",
     "Stats",
     "SystemConfig",
     "WakePolicy",

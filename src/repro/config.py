@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class Protocol(enum.Enum):
@@ -126,6 +127,11 @@ class SystemConfig:
 
     # Watchdog: abort runs that exceed this many engine events.
     max_events: int = 50_000_000
+    # Deadline on the simulated clock (cycles); None = unbounded. Distinct
+    # from max_events: a hung workload fails at a predictable *simulated*
+    # time with a structured SimulationTimeout instead of whenever its
+    # event churn happens to trip the event budget.
+    max_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -155,6 +161,8 @@ class SystemConfig:
                 "cb_entries_per_bank must divide evenly into sets")
         if self.threads_per_core < 1:
             raise ValueError("threads_per_core must be >= 1")
+        if self.max_cycles is not None and self.max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1 (or None)")
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.l1_replacement not in ("lru", "fifo", "random"):

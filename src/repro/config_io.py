@@ -50,6 +50,8 @@ def _parse_value(key: str, raw: str) -> Any:
             f"{[m.value for m in _ENUMS[key]]}")
     if raw.lower() in ("true", "false"):
         return raw.lower() == "true"
+    if raw.lower() in ("none", "null"):
+        return None
     try:
         return int(raw, 0)
     except ValueError:

@@ -46,6 +46,19 @@ class Core:
         self._gen: Optional[Generator] = None
         #: Telemetry probe bus (set when a Telemetry attaches), else None.
         self.obs = None
+        #: Ops this core's thread has retired (SimulationTimeout's
+        #: progress map counts everything).
+        self.ops_retired = 0
+        #: Retired ops excluding spin-class ones (racy re-reads, back-off
+        #: pauses, spin watches, fences) — the liveness watchdog's
+        #: forward-progress signal. A spinning core retires ops forever
+        #: without this count moving, which is what makes a livelock
+        #: distinguishable from a healthy run.
+        self.useful_ops = 0
+        self._in_spin_op = False
+        #: Fault-injection hook on back-off timers: when set, called as
+        #: ``hook(core_id, attempt, delay) -> delay`` (repro.resilience).
+        self.fault_hook: Optional[Callable[[int, int, int], int]] = None
 
     def start(self, gen: Generator) -> None:
         """Begin executing ``gen`` at the current cycle."""
@@ -55,7 +68,16 @@ class Core:
         self.start_cycle = self.engine.now
         self.engine.schedule(0, lambda: self._resume(None))
 
+    #: Op classes whose retirement is not evidence of forward progress:
+    #: a thread can execute these in a loop forever without its program
+    #: state advancing (spin probes, back-off pauses, ordering fences).
+    SPIN_OPS = (ops.LoadThrough, ops.LoadCB, ops.BackoffWait, ops.SpinUntil,
+                ops.Fence)
+
     def _resume(self, value) -> None:
+        self.ops_retired += 1
+        if not self._in_spin_op:
+            self.useful_ops += 1
         try:
             op = self._gen.send(value)
         except StopIteration:
@@ -73,6 +95,7 @@ class Core:
     COMPUTE_CYCLES_PER_L1_ACCESS = 7
 
     def _dispatch(self, op: ops.Op) -> None:
+        self._in_spin_op = isinstance(op, self.SPIN_OPS)
         if isinstance(op, ops.Compute):
             accesses = op.cycles // self.COMPUTE_CYCLES_PER_L1_ACCESS
             self.stats.l1_accesses += accesses
@@ -80,6 +103,8 @@ class Core:
             self.engine.schedule(max(1, op.cycles), lambda: self._resume(None))
         elif isinstance(op, ops.BackoffWait):
             delay = self.config.backoff_delay(op.attempt)
+            if self.fault_hook is not None:
+                delay = self.fault_hook(self.core_id, op.attempt, delay)
             self.stats.backoff_cycles += delay
             if self.obs is not None:
                 self.obs.emit("spin.backoff", core=self.core_id,

@@ -20,11 +20,12 @@ from repro.mem.store import WordStore
 from repro.noc.network import Network
 from repro.protocols import build_protocol
 from repro.protocols.base import CoherenceProtocol
-from repro.sim.engine import DeadlockError, Engine
+from repro.sim.engine import DeadlockError, Engine, SimulationTimeout
 from repro.sim.stats import Stats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.telemetry import Telemetry
+    from repro.resilience.resilience import Resilience
 
 #: A thread body: takes its context, returns an op generator.
 ThreadBody = Callable[[ThreadContext], Generator]
@@ -41,7 +42,8 @@ class Machine:
     """
 
     def __init__(self, config: SystemConfig,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 resilience: Optional["Resilience"] = None) -> None:
         self.config = config
         self.engine = Engine()
         self.stats = Stats()
@@ -65,6 +67,12 @@ class Machine:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.attach(self)
+        #: The resilience layer (fault injector / watchdog / auditors)
+        #: when attached, else None. Attaching with an empty fault plan
+        #: and no watchdog is bit-identical to not attaching at all.
+        self.resilience = resilience
+        if resilience is not None:
+            resilience.attach(self)
 
     def _core_done(self, core_id: int) -> None:
         self._remaining -= 1
@@ -85,18 +93,32 @@ class Machine:
                                 obs=self.obs)
             self._cores[tid].start(body(ctx))
 
+    def progress(self) -> dict:
+        """Retired-op counts per hardware thread (the watchdog's and the
+        timeout report's forward-progress signal)."""
+        return {core.core_id: core.ops_retired for core in self._cores}
+
     def run(self) -> Stats:
         """Run to completion; raises :class:`DeadlockError` if threads
-        block forever (e.g. a lost wakeup)."""
+        block forever (e.g. a lost wakeup), with a structured diagnosis
+        attached (per-core state, waiter tables, pending events)."""
         if not self._started:
             raise RuntimeError("spawn threads before running")
-        self.engine.run(max_events=self.config.max_events)
+        try:
+            self.engine.run(max_events=self.config.max_events,
+                            max_cycles=self.config.max_cycles)
+        except SimulationTimeout as timeout:
+            timeout.progress = self.progress()
+            raise
         if self._remaining:
+            from repro.resilience.watchdog import diagnose
             blocked = [c.core_id for c in self._cores
                        if not c.done and c.start_cycle is not None]
+            diagnosis = diagnose(self, kind="deadlock")
             raise DeadlockError(
                 f"{self._remaining} thread(s) never finished; blocked cores: "
-                f"{blocked} at cycle {self.engine.now}"
+                f"{blocked} at cycle {self.engine.now}\n{diagnosis.brief()}",
+                diagnosis=diagnosis,
             )
         self.stats.cycles = self.engine.now
         if self.telemetry is not None:
@@ -105,8 +127,9 @@ class Machine:
 
 
 def run_threads(config: SystemConfig, bodies: Sequence[ThreadBody],
-                telemetry: Optional["Telemetry"] = None) -> Stats:
+                telemetry: Optional["Telemetry"] = None,
+                resilience: Optional["Resilience"] = None) -> Stats:
     """Convenience: build a machine, spawn ``bodies``, run, return stats."""
-    machine = Machine(config, telemetry=telemetry)
+    machine = Machine(config, telemetry=telemetry, resilience=resilience)
     machine.spawn(bodies)
     return machine.run()

@@ -9,12 +9,17 @@ from repro.config import SystemConfig, config_for
 from repro.core.machine import Machine
 from repro.energy.model import EnergyBreakdown, energy_of
 from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.resilience.resilience import Resilience, ResilienceConfig
 from repro.sim.stats import Stats
 from repro.workloads.base import Workload
 
 #: What callers may pass as ``telemetry=``: nothing, a config describing
 #: what to collect, or a ready-made (unattached) Telemetry object.
 TelemetryArg = Optional[Union[Telemetry, TelemetryConfig]]
+
+#: What callers may pass as ``resilience=``: nothing, a config describing
+#: what to attach, or a ready-made (unattached) Resilience object.
+ResilienceArg = Optional[Union[Resilience, ResilienceConfig]]
 
 
 def _as_telemetry(telemetry: TelemetryArg) -> Optional[Telemetry]:
@@ -23,6 +28,21 @@ def _as_telemetry(telemetry: TelemetryArg) -> Optional[Telemetry]:
     if isinstance(telemetry, TelemetryConfig):
         return Telemetry(telemetry) if telemetry.enabled else None
     return telemetry
+
+
+def _as_resilience(resilience: ResilienceArg,
+                   audit_every: int) -> Optional[Resilience]:
+    if resilience is None:
+        if audit_every:
+            return Resilience(ResilienceConfig(audit_every=audit_every))
+        return None
+    if isinstance(resilience, ResilienceConfig):
+        if audit_every:
+            resilience.audit_every = audit_every
+        return Resilience(resilience)
+    if audit_every:
+        resilience.config.audit_every = audit_every
+    return resilience
 
 
 @dataclass
@@ -35,6 +55,8 @@ class RunResult:
     energy: EnergyBreakdown
     #: The run's telemetry collectors, when requested (else None).
     telemetry: Optional[Telemetry] = None
+    #: The run's resilience layer, when requested (else None).
+    resilience: Optional[Resilience] = None
 
     @property
     def cycles(self) -> int:
@@ -55,7 +77,9 @@ class RunResult:
 
 
 def run_workload(config: SystemConfig, workload: Workload,
-                 telemetry: TelemetryArg = None) -> RunResult:
+                 telemetry: TelemetryArg = None,
+                 resilience: ResilienceArg = None,
+                 audit_every: int = 0) -> RunResult:
     """Simulate ``workload`` on a machine built from ``config``.
 
     ``telemetry`` opts the run into observability: pass a
@@ -63,9 +87,16 @@ def run_workload(config: SystemConfig, workload: Workload,
     :class:`~repro.obs.telemetry.Telemetry`) and the attached collectors
     come back on ``RunResult.telemetry``. The default (None) runs fully
     uninstrumented and is bit-identical to the untelemetered simulator.
+
+    ``resilience`` opts the run into the robustness layer
+    (:mod:`repro.resilience`): fault injection, the liveness watchdog,
+    and periodic invariant auditing. ``audit_every=N`` is shorthand for
+    just the auditing component (it merges into whatever ``resilience``
+    object/config was passed). Both defaults leave the run untouched.
     """
     telemetry = _as_telemetry(telemetry)
-    machine = Machine(config, telemetry=telemetry)
+    resilience = _as_resilience(resilience, audit_every)
+    machine = Machine(config, telemetry=telemetry, resilience=resilience)
     workload.install(machine)
     stats = machine.run()
     return RunResult(
@@ -74,11 +105,15 @@ def run_workload(config: SystemConfig, workload: Workload,
         stats=stats,
         energy=energy_of(stats),
         telemetry=telemetry,
+        resilience=resilience,
     )
 
 
 def run_config(name: str, workload: Workload,
-               telemetry: TelemetryArg = None, **overrides) -> RunResult:
+               telemetry: TelemetryArg = None,
+               resilience: ResilienceArg = None,
+               audit_every: int = 0, **overrides) -> RunResult:
     """Run under a paper configuration label ("Invalidation", ...)."""
     return run_workload(config_for(name, **overrides), workload,
-                        telemetry=telemetry)
+                        telemetry=telemetry, resilience=resilience,
+                        audit_every=audit_every)

@@ -97,6 +97,7 @@ class Sweep:
             cache_dir: Optional[str] = None,
             telemetry: Optional[TelemetryConfig] = None,
             telemetry_dir: Optional[str] = None,
+            audit_every: int = 0,
             **base_overrides: Any) -> List[Dict[str, Any]]:
         """Execute the sweep; returns one row dict per (config, point).
 
@@ -113,6 +114,12 @@ class Sweep:
         and the row gains a ``telemetry`` key pointing at them.
         Telemetry collectors live in the simulating process, so
         telemetered sweeps are serial-only.
+
+        ``audit_every=N`` runs the :mod:`repro.validation.checker`
+        auditors as a periodic daemon inside every simulation (an
+        :class:`~repro.validation.checker.InvariantViolation` fails that
+        grid point's run). Auditors live in the simulating process, so
+        audited sweeps are serial-only too.
         """
         plan = []   # (point, config_overrides, workload_params, label)
         for point in self.grid():
@@ -129,6 +136,10 @@ class Sweep:
                 jobs > 1 or cache_dir is not None):
             raise ValueError(
                 "telemetry= sweeps are serial-only: collectors live in "
+                "the simulating process, so drop jobs=/cache_dir=")
+        if audit_every and (jobs > 1 or cache_dir is not None):
+            raise ValueError(
+                "audit_every= sweeps are serial-only: auditors live in "
                 "the simulating process, so drop jobs=/cache_dir=")
         if jobs > 1 or cache_dir is not None:
             if self.workload_spec is None:
@@ -158,7 +169,7 @@ class Sweep:
                                  and telemetry.enabled else None)
                 results.append(run_workload(
                     config, self._build_workload(workload_params),
-                    telemetry=run_telemetry))
+                    telemetry=run_telemetry, audit_every=audit_every))
 
         rows: List[Dict[str, Any]] = []
         for (point, _, _, label), result in zip(plan, results):

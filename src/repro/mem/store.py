@@ -35,6 +35,13 @@ class WordStore:
         self._values[key] = value
         self._versions[key] = self._versions.get(key, 0) + 1
 
+    def snapshot(self) -> Dict[int, int]:
+        """Non-zero word values keyed by word index. Zero-valued entries
+        are dropped so a written-then-cleared word compares equal to a
+        never-written one — this is the functional state the resilience
+        campaigns fingerprint to prove faults left results intact."""
+        return {key: value for key, value in self._values.items() if value}
+
     def version(self, addr: int) -> int:
         return self._versions.get(self._key(addr), 0)
 

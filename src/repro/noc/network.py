@@ -10,7 +10,7 @@ network, matching how GEMS/GARNET accounts local bank hits.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.noc.mesh import Mesh, make_topology
@@ -19,6 +19,10 @@ from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
 LOCAL_DELIVERY_LATENCY = 1
+
+
+def _drop_duplicate() -> None:
+    """Delivery of a fault-injected duplicate message: dropped on arrival."""
 
 
 class Network:
@@ -46,6 +50,15 @@ class Network:
         #: handler identity, never (time, seq) ordering.
         self.track_inflight = False
         self.inflight_flits = 0
+        #: Fault-injection hook (repro.resilience): when set, called as
+        #: ``hook(src, dst, kind, latency) -> (extra_latency, duplicates)``
+        #: for every message. ``extra_latency`` delays delivery (a slow
+        #: NoC path); ``duplicates`` re-sends the message's flits that
+        #: many times — the payload handler still runs exactly once (the
+        #: receiver drops duplicates), but the copies are charged as
+        #: traffic. Left None (the default), sends are untouched.
+        self.fault_hook: Optional[
+            Callable[[int, int, MsgKind, int], Tuple[int, int]]] = None
 
     def message_latency(self, src: int, dst: int, kind: MsgKind) -> int:
         """Cycles from injection at ``src`` to delivery at ``dst``."""
@@ -76,6 +89,10 @@ class Network:
         hops = self.mesh.hops(src, dst)
         size = self._size(kind)
         flits = self.config.flits_for(size)
+        duplicates = 0
+        if self.fault_hook is not None:
+            extra, duplicates = self.fault_hook(src, dst, kind, latency)
+            latency += extra
         if hops > 0:
             self.stats.record_message(kind.value, flits, hops, size)
         else:
@@ -95,6 +112,14 @@ class Network:
                           flits=flits, hops=hops, latency=latency,
                           sync=sync)
         self.engine.schedule(latency, handler)
+        for copy in range(duplicates):
+            # The duplicate crosses the network (charged as traffic) but
+            # the receiver discards it: a daemon no-op one cycle behind
+            # each copy, so duplication never extends the run's liveness.
+            self.stats.record_message(kind.value, flits, hops, size)
+            self.stats.msgs_duplicated += 1
+            self.engine.schedule(latency + 1 + copy, _drop_duplicate,
+                                 daemon=True)
         return latency
 
     def round_trip(self, a: int, b: int, req: MsgKind, resp: MsgKind) -> int:

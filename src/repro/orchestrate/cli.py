@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -111,6 +112,7 @@ def save_batch(path: str, specs: Sequence[JobSpec]) -> None:
 def _execute(specs: List[JobSpec], args: argparse.Namespace) -> int:
     orchestrator = Orchestrator(jobs=args.jobs, cache=args.cache_dir,
                                 timeout=args.timeout, retries=args.retries,
+                                quarantine_after=args.quarantine_after,
                                 verbose=args.verbose)
     try:
         batch = orchestrator.run(specs)
@@ -122,19 +124,25 @@ def _execute(specs: List[JobSpec], args: argparse.Namespace) -> int:
             json.dump(batch.records(), handle, indent=2, sort_keys=True)
         if not args.quiet:
             print(f"records written to {args.json}")
-    return 0 if batch.ok else 1
+    if args.failures_out:
+        with open(args.failures_out, "w") as handle:
+            json.dump(batch.failure_manifest(), handle, indent=2,
+                      sort_keys=True)
+        if not args.quiet:
+            print(f"failure manifest written to {args.failures_out}")
+    return batch.exit_code()
 
 
 def _print_batch(batch: BatchResult, quiet: bool = False) -> None:
     if not quiet:
         for result in batch.results:
-            line = f"  {result.status:<9} {result.spec.describe()}"
+            line = f"  {result.status:<11} {result.spec.describe()}"
             if result.record is not None:
                 res = result.record["result"]
                 line += (f"  cycles={res['cycles']} "
                          f"traffic={res['traffic']}")
             elif result.error:
-                line += f"  ({result.error})"
+                line += f"  [{result.kind}] ({result.error})"
             print(line)
     print(batch.summary())
 
@@ -153,6 +161,26 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return _execute(load_batch(args.batch), args)
 
 
+def _summarize_failures(cache_dir: str) -> None:
+    """Failure-class histogram from the cache dir's events.jsonl."""
+    path = os.path.join(cache_dir, "events.jsonl")
+    if not os.path.exists(path):
+        return
+    counts: Dict[str, int] = {}
+    with open(path) as handle:
+        for line in handle:
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if event.get("kind") in ("failed", "timeout", "quarantined"):
+                failure = event.get("failure_kind", "error")
+                counts[failure] = counts.get(failure, 0) + 1
+    if counts:
+        what = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        print(f"failure classes (events.jsonl): {what}")
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.batch:
@@ -169,6 +197,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(f"{done}/{len(specs)} jobs cached; "
               f"resume with: repro-orchestrate resume {args.batch} "
               f"--cache-dir {args.cache_dir}")
+        _summarize_failures(args.cache_dir)
         return 0
     keys = cache.keys()
     for record in cache.records():
@@ -176,6 +205,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(f"  {record['job_key'][:12]} {spec.describe()} "
               f"cycles={record['result']['cycles']}")
     print(f"{len(keys)} records in {args.cache_dir}")
+    _summarize_failures(args.cache_dir)
     return 0
 
 
@@ -188,8 +218,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="per-job wall-clock budget in seconds")
     parser.add_argument("--retries", type=int, default=2,
                         help="re-tries per job after a failure")
+    parser.add_argument("--quarantine-after", type=int, default=3,
+                        help="deterministic failures per workload+config "
+                             "family before its jobs are refused (0 = off)")
     parser.add_argument("--json", default=None,
                         help="write the batch's records to this file")
+    parser.add_argument("--failures-out", default=None,
+                        help="write the batch's failure manifest (specs, "
+                             "failure classes, errors) to this file")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the batch summary")
     parser.add_argument("--verbose", action="store_true",

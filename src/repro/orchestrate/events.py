@@ -20,9 +20,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-#: Event kinds, in roughly the order a job can emit them.
+#: Event kinds, in roughly the order a job can emit them. ``failed``,
+#: ``timeout``, and ``quarantined`` events carry a ``failure_kind``
+#: detail — the failure class from :mod:`repro.resilience.classify` —
+#: so logs can be summarized by *why* jobs failed, not just how many.
 KINDS = ("queued", "cache_hit", "started", "finished", "retried",
-         "timeout", "failed")
+         "timeout", "failed", "quarantined")
 
 
 @dataclass
@@ -36,9 +39,10 @@ class Event:
     detail: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"kind": self.kind, "job_key": self.job_key,
-                "label": self.label, "t_wall": self.t_wall,
-                **self.detail}
+        # Detail first: the event's own fields must win a name clash.
+        return {**self.detail,
+                "kind": self.kind, "job_key": self.job_key,
+                "label": self.label, "t_wall": self.t_wall}
 
 
 class EventLog:
@@ -105,6 +109,15 @@ class EventLog:
     def of_kind(self, kind: str) -> List[Event]:
         return [e for e in self.events if e.kind == kind]
 
+    def failure_kinds(self) -> Dict[str, int]:
+        """Failure-class histogram over failed/timeout/quarantined
+        events (from each event's ``failure_kind`` detail)."""
+        counts: Counter = Counter()
+        for event in self.events:
+            if event.kind in ("failed", "timeout", "quarantined"):
+                counts[event.detail.get("failure_kind", "error")] += 1
+        return dict(counts)
+
     @property
     def simulations_executed(self) -> int:
         """Jobs that actually ran a simulation (not served from cache)."""
@@ -131,11 +144,16 @@ class EventLog:
         lines = [
             f"jobs: {c['queued']} queued, {c['cache_hit']} from cache, "
             f"{c['finished']} simulated, {c['retried']} retried, "
-            f"{c['timeout']} timed out, {c['failed']} failed",
+            f"{c['timeout']} timed out, {c['failed']} failed, "
+            f"{c['quarantined']} quarantined",
             f"wall-clock: {t['wall_s']:.2f}s "
             f"({t['jobs_per_s']:.2f} jobs/s)",
             f"simulated cycles: {self.sim_cycles:,} "
             f"({t['sim_cycles_per_s']:,.0f} cycles/s; "
             f"{self.cached_cycles:,} more served from cache)",
         ]
+        kinds = self.failure_kinds()
+        if kinds:
+            what = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+            lines.append(f"failure classes: {what}")
         return "\n".join(lines)

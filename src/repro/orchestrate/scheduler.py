@@ -24,6 +24,17 @@
   serial mode the deadline is checked after the fact. Timed-out jobs
   are not retried (the simulator is deterministic — they would time out
   again) and are not cached.
+* **Failure classification + quarantine** — every failure is classified
+  with the shared taxonomy (:mod:`repro.resilience.classify`):
+  ``invariant`` / ``liveness`` / ``timeout`` / ``crash`` / ``error``.
+  Deterministic simulation verdicts (invariant, liveness, timeout) are
+  never retried. A *family* of jobs (same workload + configuration)
+  that keeps failing deterministically is **quarantined** after
+  ``quarantine_after`` failures: its remaining jobs are refused
+  immediately instead of burning a core each, so one broken
+  configuration cannot starve the rest of a large batch. The batch
+  always completes, returning partial results plus the failure kinds in
+  its records and event log.
 
 Duplicate specs in one batch are coalesced: the simulation runs once
 and every occurrence shares the record.
@@ -32,6 +43,7 @@ and every occurrence shares the record.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
@@ -40,6 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import config_for
 from repro.harness.runner import run_workload
+from repro.resilience.classify import classify_failure, exit_code_for
 
 from repro.orchestrate.cache import ResultCache
 from repro.orchestrate.events import EventLog
@@ -51,6 +64,11 @@ RunFn = Callable[[Dict[str, Any]], Dict[str, Any]]
 
 #: Scheduler poll interval while waiting on in-flight futures.
 _POLL_S = 0.05
+
+#: Failure kinds that are verdicts of a deterministic simulation: the
+#: same spec would fail the same way again, so retrying is pure waste
+#: (and they count toward the spec family's quarantine threshold).
+DETERMINISTIC_KINDS = frozenset({"invariant", "liveness", "timeout"})
 
 
 def _is_fatal(exc: BaseException) -> bool:
@@ -76,10 +94,14 @@ class JobResult:
     """Terminal state of one job in a batch."""
 
     spec: JobSpec
-    status: str                 # finished | cache_hit | failed | timeout
+    #: finished | cache_hit | failed | timeout | quarantined
+    status: str
     record: Optional[Dict[str, Any]] = None
     error: str = ""
     attempts: int = 0
+    #: Failure class (``invariant``/``liveness``/``timeout``/``crash``/
+    #: ``error``/``quarantined``), or ``"ok"`` for successful jobs.
+    kind: str = "ok"
 
     @property
     def ok(self) -> bool:
@@ -116,6 +138,33 @@ class BatchResult:
     def records(self) -> List[Dict[str, Any]]:
         return [r.record for r in self.results if r.record is not None]
 
+    def failure_kinds(self) -> Dict[str, int]:
+        """Failure-class histogram over the batch's failed jobs."""
+        counts = Counter(r.kind for r in self.results if not r.ok)
+        return dict(counts)
+
+    def exit_code(self) -> int:
+        """Process exit code: 0 when everything succeeded, else the
+        shared-taxonomy code of the most severe failure class present
+        (:data:`repro.resilience.classify.FAILURE_EXIT_CODES`)."""
+        return exit_code_for(r.kind for r in self.results)
+
+    def failure_manifest(self) -> Dict[str, Any]:
+        """Structured account of everything that did not finish: one
+        entry per failed job (spec, kind, error, attempts) plus the
+        per-kind histogram — what a campaign or CI run archives."""
+        return {
+            "total": len(self.results),
+            "failed": len(self.failed),
+            "by_kind": self.failure_kinds(),
+            "failures": [
+                {"spec": r.spec.to_dict(), "job_key": r.spec.job_key(),
+                 "status": r.status, "kind": r.kind, "error": r.error,
+                 "attempts": r.attempts}
+                for r in self.failed
+            ],
+        }
+
     def summary(self) -> str:
         return self.events.summary()
 
@@ -138,16 +187,22 @@ class Orchestrator:
                  backoff_s: float = 0.05,
                  events: Optional[EventLog] = None,
                  run_fn: Optional[RunFn] = None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 quarantine_after: int = 3) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if quarantine_after < 0:
+            raise ValueError("quarantine_after must be >= 0 (0 = off)")
         self.jobs = jobs
         self.cache = ResultCache(cache) if isinstance(cache, str) else cache
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.quarantine_after = quarantine_after
+        #: Deterministic failures per job family (workload, config).
+        self._family_failures: Counter = Counter()
         self.run_fn: RunFn = run_fn or execute_job
         if events is None:
             sink = None
@@ -190,12 +245,45 @@ class Orchestrator:
         return BatchResult(results=results, events=self.events,
                            wall_s=time.perf_counter() - t0)
 
+    # -------------------------------------------------------- quarantine
+
+    @staticmethod
+    def _family(spec: JobSpec) -> str:
+        """The quarantine granularity: one workload on one
+        configuration. Seeds and overrides share a family — if the
+        combination is deterministically broken, every seed will be."""
+        return f"{spec.workload}/{spec.config_label}"
+
+    def _note_failure(self, spec: JobSpec, kind: str) -> None:
+        if kind in DETERMINISTIC_KINDS:
+            self._family_failures[self._family(spec)] += 1
+
+    def _quarantined(self, spec: JobSpec) -> bool:
+        return bool(self.quarantine_after) and (
+            self._family_failures[self._family(spec)]
+            >= self.quarantine_after)
+
+    def _refuse_quarantined(self, spec: JobSpec,
+                            outcomes: Dict[str, JobResult]) -> None:
+        key = spec.job_key()
+        family = self._family(spec)
+        error = (f"family {family} quarantined after "
+                 f"{self._family_failures[family]} deterministic "
+                 f"failure(s)")
+        self.events.record("quarantined", key, spec.describe(),
+                           failure_kind="quarantined", family=family)
+        outcomes[key] = JobResult(spec, "quarantined", error=error,
+                                  kind="quarantined")
+
     # ------------------------------------------------------ serial path
 
     def _run_serial(self, specs: List[JobSpec],
                     outcomes: Dict[str, JobResult]) -> None:
         for spec in specs:
             key = spec.job_key()
+            if self._quarantined(spec):
+                self._refuse_quarantined(spec, outcomes)
+                continue
             attempt = 1
             while True:
                 self.events.record("started", key, spec.describe(),
@@ -204,23 +292,30 @@ class Orchestrator:
                 try:
                     record = self.run_fn(spec.to_dict())
                 except Exception as exc:  # noqa: BLE001 — job isolation
-                    if not _is_fatal(exc) and attempt <= self.retries:
+                    kind = classify_failure(exc)
+                    retryable = (not _is_fatal(exc)
+                                 and kind not in DETERMINISTIC_KINDS)
+                    if retryable and attempt <= self.retries:
                         self.events.record("retried", key, spec.describe(),
                                            attempt=attempt, error=str(exc))
                         time.sleep(self.backoff_s * 2 ** (attempt - 1))
                         attempt += 1
                         continue
                     self.events.record("failed", key, spec.describe(),
-                                       attempt=attempt, error=str(exc))
+                                       attempt=attempt, failure_kind=kind,
+                                       error=str(exc))
+                    self._note_failure(spec, kind)
                     outcomes[key] = JobResult(spec, "failed", error=str(exc),
-                                              attempts=attempt)
+                                              attempts=attempt, kind=kind)
                     break
                 elapsed = time.perf_counter() - t0
                 if self.timeout is not None and elapsed > self.timeout:
                     self.events.record("timeout", key, spec.describe(),
+                                       failure_kind="timeout",
                                        elapsed_s=round(elapsed, 3))
+                    self._note_failure(spec, "timeout")
                     outcomes[key] = JobResult(
-                        spec, "timeout", attempts=attempt,
+                        spec, "timeout", attempts=attempt, kind="timeout",
                         error=f"exceeded {self.timeout}s "
                               f"(took {elapsed:.3f}s)")
                     break
@@ -243,6 +338,9 @@ class Orchestrator:
                     entry = ready.pop(0)
                     pending.remove(entry)
                     spec, attempt, _ = entry
+                    if self._quarantined(spec):
+                        self._refuse_quarantined(spec, outcomes)
+                        continue
                     key = spec.job_key()
                     self.events.record("started", key, spec.describe(),
                                        attempt=attempt)
@@ -269,11 +367,15 @@ class Orchestrator:
                         broken = True
                         self._retry_or_fail(spec, attempt,
                                             "worker process crashed",
-                                            pending, outcomes)
-                    else:
-                        self._retry_or_fail(spec, attempt, str(error),
                                             pending, outcomes,
-                                            retryable=not _is_fatal(error))
+                                            kind="crash")
+                    else:
+                        kind = classify_failure(error)
+                        self._retry_or_fail(
+                            spec, attempt, str(error), pending, outcomes,
+                            retryable=(not _is_fatal(error)
+                                       and kind not in DETERMINISTIC_KINDS),
+                            kind=kind)
                 if broken:
                     # The pool is dead: every other in-flight job is
                     # collateral damage — requeue each at the cost of
@@ -281,7 +383,8 @@ class Orchestrator:
                     for future, (spec, attempt, _) in inflight.items():
                         self._retry_or_fail(spec, attempt,
                                             "worker pool broke mid-job",
-                                            pending, outcomes)
+                                            pending, outcomes,
+                                            kind="crash")
                     inflight.clear()
                     executor.shutdown(wait=False, cancel_futures=True)
                     executor = ProcessPoolExecutor(max_workers=self.jobs)
@@ -294,9 +397,11 @@ class Orchestrator:
                     future.cancel()
                     key = spec.job_key()
                     self.events.record("timeout", key, spec.describe(),
+                                       failure_kind="timeout",
                                        timeout_s=self.timeout)
+                    self._note_failure(spec, "timeout")
                     outcomes[key] = JobResult(
-                        spec, "timeout", attempts=attempt,
+                        spec, "timeout", attempts=attempt, kind="timeout",
                         error=f"exceeded {self.timeout}s")
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -318,7 +423,8 @@ class Orchestrator:
     def _retry_or_fail(self, spec: JobSpec, attempt: int, error: str,
                        pending: List[_Pending],
                        outcomes: Dict[str, JobResult],
-                       retryable: bool = True) -> None:
+                       retryable: bool = True,
+                       kind: str = "error") -> None:
         key = spec.job_key()
         if retryable and attempt <= self.retries:
             self.events.record("retried", key, spec.describe(),
@@ -328,9 +434,11 @@ class Orchestrator:
             pending.append((spec, attempt + 1, not_before))
         else:
             self.events.record("failed", key, spec.describe(),
-                               attempt=attempt, error=error)
+                               attempt=attempt, failure_kind=kind,
+                               error=error)
+            self._note_failure(spec, kind)
             outcomes[key] = JobResult(spec, "failed", error=error,
-                                      attempts=attempt)
+                                      attempts=attempt, kind=kind)
 
 
 def run_batch(specs: Sequence[JobSpec], jobs: int = 1,

@@ -71,6 +71,28 @@ class CallbackDirectory:
     def victim_word(self, victim_entry: CBEntry) -> int:
         return victim_entry.word
 
+    def force_evict(self, word: int) -> List[Waiter]:
+        """Evict ``word``'s entry right now, as a fault injector would.
+
+        This exercises the paper's Section 2.3.1 safety argument — "an
+        entry can be evicted at any moment by answering all pending
+        callbacks with the current value" — at an *arbitrary* cycle
+        rather than only under capacity pressure. Returns the orphaned
+        waiters; the caller must answer them with the word's current
+        value. A miss is a no-op (returns ``[]``).
+        """
+        victim = self._cache.remove(word)
+        if victim is None:
+            return []
+        self.stats.cb_evictions += 1
+        self.stats.cb_forced_evictions += 1
+        evicted = victim.payload.evict()
+        self.stats.cb_eviction_wakeups += len(evicted)
+        if self.obs is not None:
+            self.obs.emit("cb.evict", word=word, bank=self.bank,
+                          woken=len(evicted), forced=True)
+        return evicted
+
     def rng_next(self, bound: int) -> int:
         return self._rng.randrange(bound)
 

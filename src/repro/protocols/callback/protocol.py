@@ -67,6 +67,15 @@ class CallbackProtocol(VIPSProtocol):
         for waiter in evicted:
             self._wake_with_value(bank, waiter, waiter.word)
 
+    def force_cb_eviction(self, bank: int, word: int) -> int:
+        """Fault injection: evict ``word``'s directory entry (if resident)
+        at the current cycle, answering its callbacks with the current
+        value — the disruption the paper claims is always safe. Returns
+        the number of waiters woken."""
+        evicted = self.cb_dirs[bank].force_evict(word)
+        self._drain_evicted(bank, evicted)
+        return len(evicted)
+
     # --------------------------------------------------------------- ld_cb
 
     def _op_load_cb(self, core: int, op: ops.LoadCB) -> Future:

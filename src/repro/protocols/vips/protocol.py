@@ -137,6 +137,29 @@ class VIPSProtocol(CoherenceProtocol):
             self.stats.writebacks += 1
             self.network.send(core, bank, MsgKind.WRITE_THROUGH, lambda: None)
 
+    # ------------------------------------------------------- fault injection
+
+    def drop_clean_line(self, core: int, selector: int = 0) -> Optional[int]:
+        """Fault injection: silently drop one *clean* line from ``core``'s
+        L1 (the ``selector``-th resident clean line, modulo their count).
+
+        Safe by the same argument that makes self-invalidation correct:
+        a clean line can always be refetched from the LLC, so a transient
+        drop perturbs timing (an extra miss) but never data. Dirty lines
+        are never dropped — that would lose writes, which no component of
+        the modelled system does. Returns the dropped line number, or
+        None if the L1 holds no clean line."""
+        l1 = self.l1[self.l1_of(core)]
+        clean = [entry.line for entry in l1 if not entry.payload.dirty_words]
+        if not clean:
+            return None
+        line = clean[selector % len(clean)]
+        l1.remove(line)
+        self.stats.l1_fault_drops += 1
+        if self.obs is not None:
+            self.obs.emit("l1.fault_drop", core=core, line=line)
+        return line
+
     # --------------------------------------------------------------- fences
 
     def _op_fence(self, core: int, op: ops.Fence) -> Future:

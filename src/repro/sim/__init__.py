@@ -1,14 +1,17 @@
 """Discrete-event simulation core: engine, futures, statistics."""
 
-from repro.sim.engine import DeadlockError, Engine, SimulationError
+from repro.sim.engine import (DeadlockError, Engine, LivenessError,
+                              SimulationError, SimulationTimeout)
 from repro.sim.future import Future, WaitQueue
 from repro.sim.stats import Stats
 
 __all__ = [
     "DeadlockError",
     "Engine",
+    "LivenessError",
     "Future",
     "SimulationError",
+    "SimulationTimeout",
     "Stats",
     "WaitQueue",
 ]

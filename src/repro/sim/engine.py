@@ -26,7 +26,7 @@ unless used:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 
 class SimulationError(RuntimeError):
@@ -34,7 +34,57 @@ class SimulationError(RuntimeError):
 
 
 class DeadlockError(SimulationError):
-    """Raised when the event queue drains while threads are still blocked."""
+    """Raised when the event queue drains while threads are still blocked.
+
+    When the machine built a structured post-mortem (see
+    :mod:`repro.resilience.watchdog`), it is attached as ``diagnosis``.
+    """
+
+    def __init__(self, message: str, diagnosis: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class LivenessError(SimulationError):
+    """Raised when events keep firing but no thread makes forward progress
+    (a livelock — e.g. spinning forever on a value nobody will write).
+
+    Raised by the :class:`~repro.resilience.watchdog.LivenessWatchdog`
+    *at the cycle the no-progress window closes*, with its structured
+    ``diagnosis`` attached."""
+
+    def __init__(self, message: str, diagnosis: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class SimulationTimeout(SimulationError):
+    """A run exceeded its event or cycle budget (watchdog deadline).
+
+    Structured: carries which budget tripped (``reason`` is
+    ``"max_events"`` or ``"max_cycles"``), the final ``cycle``, the
+    number of ``events`` executed, and — when the machine filled it in —
+    ``progress``, a per-core map of retired-op counts, so a timeout
+    report can say *which* cores were still moving."""
+
+    def __init__(self, message: str, reason: str = "max_events",
+                 cycle: int = 0, events: int = 0,
+                 progress: Optional[Dict[int, int]] = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.cycle = cycle
+        self.events = events
+        self.progress: Dict[int, int] = progress or {}
+
+    def __reduce__(self):  # keep the structure across process boundaries
+        return (_rebuild_timeout, (self.args[0], self.reason, self.cycle,
+                                   self.events, self.progress))
+
+
+def _rebuild_timeout(message: str, reason: str, cycle: int, events: int,
+                     progress: Dict[int, int]) -> "SimulationTimeout":
+    return SimulationTimeout(message, reason=reason, cycle=cycle,
+                             events=events, progress=progress)
 
 
 class Engine:
@@ -109,15 +159,25 @@ class Engine:
             hook(callback)
         return True
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None,
+            max_cycles: Optional[int] = None) -> int:
         """Drain the event queue.
 
-        Stops when no *live* (non-daemon) events remain, when the clock
-        would pass ``until``, or after ``max_events`` events (a watchdog
-        against runaway simulations, e.g. livelocked spin loops). Trailing
-        daemon events — e.g. a sampler tick beyond the last real event —
-        are left unexecuted so the clock ends at the last live event.
-        Returns the number of events executed.
+        Stops when no *live* (non-daemon) events remain or when the clock
+        would pass ``until``. Two watchdog budgets abort runaway runs with
+        a structured :class:`SimulationTimeout`:
+
+        * ``max_events`` bounds the number of executed events (daemon
+          events included) — a guard against livelocked spin loops;
+        * ``max_cycles`` is a deadline on the *simulated clock*: the run
+          aborts before executing any event past that cycle, so a hung
+          workload fails at a predictable point in simulated time
+          regardless of how many events per cycle it churns.
+
+        Trailing daemon events — e.g. a sampler tick beyond the last real
+        event — are left unexecuted so the clock ends at the last live
+        event. Returns the number of events executed.
         """
         executed = 0
         self._running = True
@@ -125,9 +185,18 @@ class Engine:
             while self._live > 0:
                 if until is not None and self._queue[0][0] > until:
                     break
+                if max_cycles is not None and self._queue[0][0] > max_cycles:
+                    raise SimulationTimeout(
+                        f"watchdog: simulated clock would pass the "
+                        f"{max_cycles}-cycle deadline at cycle {self.now} "
+                        f"({executed} events executed)",
+                        reason="max_cycles", cycle=self.now, events=executed,
+                    )
                 if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"watchdog: exceeded {max_events} events at cycle {self.now}"
+                    raise SimulationTimeout(
+                        f"watchdog: exceeded {max_events} events at cycle "
+                        f"{self.now}",
+                        reason="max_events", cycle=self.now, events=executed,
                     )
                 self.step()
                 executed += 1

@@ -82,6 +82,14 @@ class Stats:
     # (repro.energy.power).
     cb_parked_cycles: int = 0
 
+    # Fault injection (repro.resilience) — all zero on fault-free runs.
+    faults_injected: int = 0
+    cb_forced_evictions: int = 0
+    msgs_delayed: int = 0
+    msgs_duplicated: int = 0
+    l1_fault_drops: int = 0
+    backoff_perturbations: int = 0
+
     # Per-message-kind counts, e.g. {"GetS": 12, "Inv": 4, ...}
     msg_kinds: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 

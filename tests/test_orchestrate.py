@@ -380,3 +380,123 @@ class TestCLI:
         assert main(["inspect", batch_file, "--cache-dir",
                      str(tmp_path / "cache")]) == 0
         assert "4/4 jobs cached" in capsys.readouterr().out
+
+
+# Classified failure injectors (top-level so pool workers can import
+# them, matching the run fns above).
+
+def invariant_run(spec_dict):
+    from repro.validation import InvariantViolation
+    raise InvariantViolation("SWMR broken in worker")
+
+
+def deadlock_run(spec_dict):
+    from repro.sim.engine import DeadlockError
+    raise DeadlockError("threads parked forever")
+
+
+def sim_timeout_run(spec_dict):
+    from repro.sim.engine import SimulationTimeout
+    raise SimulationTimeout("cycle budget", reason="max_cycles", cycle=9,
+                            events=2, progress={0: 1})
+
+
+def severity_run(spec_dict):
+    from repro.sim.engine import SimulationTimeout
+    from repro.validation import InvariantViolation
+    if JobSpec.from_dict(spec_dict).seed == 1:
+        raise SimulationTimeout("slow")
+    raise InvariantViolation("bad state")
+
+
+class TestFailureTaxonomy:
+    def test_deterministic_kinds_classified_and_not_retried(self):
+        batch = Orchestrator(retries=3, run_fn=invariant_run).run([spec_for()])
+        (result,) = batch.results
+        assert result.status == "failed"
+        assert result.kind == "invariant"
+        assert result.attempts == 1   # deterministic: never retried
+        assert dict(batch.failure_kinds()) == {"invariant": 1}
+        assert batch.exit_code() == 2
+
+    def test_liveness_and_timeout_kinds(self):
+        batch = Orchestrator(run_fn=deadlock_run).run([spec_for()])
+        assert batch.results[0].kind == "liveness"
+        assert batch.exit_code() == 3
+        batch = Orchestrator(run_fn=sim_timeout_run).run([spec_for(seed=2)])
+        assert batch.results[0].kind == "timeout"
+        assert batch.exit_code() == 4
+
+    def test_exit_code_reports_the_most_severe_class(self):
+        batch = Orchestrator(run_fn=severity_run).run(
+            [spec_for(seed=1), spec_for(seed=2)])
+        kinds = sorted(r.kind for r in batch.results)
+        assert kinds == ["invariant", "timeout"]
+        assert batch.exit_code() == 2   # invariant outranks timeout
+
+    def test_failure_manifest_names_every_failure(self):
+        batch = Orchestrator(run_fn=invariant_run).run([spec_for()])
+        manifest = batch.failure_manifest()
+        assert manifest["total"] == 1
+        assert manifest["failed"] == 1
+        assert manifest["by_kind"] == {"invariant": 1}
+        (entry,) = manifest["failures"]
+        assert entry["kind"] == "invariant"
+        assert entry["job_key"] and entry["error"]
+
+    def test_events_and_inspect_summarize_failure_classes(self, tmp_path,
+                                                          capsys):
+        cache = str(tmp_path)
+        run_batch([spec_for()], cache_dir=cache, run_fn=invariant_run)
+        with open(os.path.join(cache, "events.jsonl")) as handle:
+            events = [json.loads(line) for line in handle]
+        failed = [e for e in events if e["kind"] == "failed"]
+        assert failed and failed[-1]["failure_kind"] == "invariant"
+        assert main(["inspect", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "failure classes" in out
+        assert "invariant" in out
+
+
+class TestQuarantine:
+    def test_family_quarantined_after_repeat_failures(self):
+        specs = [spec_for(seed=s) for s in range(1, 6)]   # one family
+        batch = Orchestrator(run_fn=invariant_run,
+                             quarantine_after=2).run(specs)
+        kinds = [r.kind for r in batch.results]
+        assert kinds.count("invariant") == 2
+        assert kinds.count("quarantined") == 3
+        for result in batch.results:
+            if result.kind == "quarantined":
+                assert result.status == "quarantined"
+                assert "quarantined" in result.error
+        assert batch.failure_kinds()["quarantined"] == 3
+        assert batch.exit_code() == 2   # root cause outranks quarantine
+
+    def test_other_families_are_unaffected(self):
+        specs = [spec_for(seed=s) for s in (1, 2, 3)]
+        specs.append(spec_for(seed=1, label="CB-All"))
+        batch = Orchestrator(run_fn=invariant_run,
+                             quarantine_after=2).run(specs)
+        by_label = {(r.spec.config_label, r.spec.seed): r.kind
+                    for r in batch.results}
+        assert by_label[("CB-One", 3)] == "quarantined"
+        assert by_label[("CB-All", 1)] == "invariant"   # fresh family
+
+    def test_transient_errors_never_quarantine(self):
+        def flaky(spec_dict):
+            raise ValueError("not a deterministic simulation failure")
+        specs = [spec_for(seed=s) for s in (1, 2, 3)]
+        batch = Orchestrator(run_fn=flaky, retries=0,
+                             quarantine_after=1).run(specs)
+        assert [r.kind for r in batch.results] == ["error"] * 3
+
+    def test_quarantine_threshold_validated(self):
+        with pytest.raises(ValueError):
+            Orchestrator(quarantine_after=-1)
+
+    def test_zero_disables_quarantine(self):
+        specs = [spec_for(seed=s) for s in (1, 2, 3)]
+        batch = Orchestrator(run_fn=invariant_run,
+                             quarantine_after=0).run(specs)
+        assert [r.kind for r in batch.results] == ["invariant"] * 3

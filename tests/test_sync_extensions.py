@@ -86,8 +86,15 @@ def test_ticket_release_cb1_deadlocks():
         yield from lock.release(ctx)
 
     machine.spawn([body] * 4)
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as excinfo:
         machine.run()
+    # The structured post-mortem must name the lost-wakeup victims: the
+    # cores still parked in the callback directory's waiter tables.
+    diagnosis = excinfo.value.diagnosis
+    assert diagnosis is not None and diagnosis.kind == "deadlock"
+    parked = diagnosis.parked_waiter_cores()
+    assert parked, "no parked waiter named in the deadlock diagnosis"
+    assert set(parked) <= set(diagnosis.blocked_cores())
 
 
 def test_ticket_release_cba_is_safe():

@@ -12,7 +12,7 @@ from repro.validation import (InvariantViolation, audit_machine,
                               check_callback_directory, check_mesi_swmr,
                               check_vips_l1)
 
-from tests.protocol_utils import issue
+from tests.protocol_utils import issue, issue_pending
 
 ADDR = 0x4000
 
@@ -97,3 +97,54 @@ class TestCorruptionDetected:
         entry.cb = 0b1010  # bits without waiters
         with pytest.raises(InvariantViolation, match="disagree"):
             check_callback_directory(machine.protocol)
+
+    def _parked_entry(self):
+        """A CB entry with core 1 genuinely parked (second LoadCB blocks
+        once the first consumed the F/E bit)."""
+        machine = Machine(config_for("CB-One", num_cores=4))
+        issue(machine, 1, ops.LoadCB(ADDR))   # consumes core 1's F/E bit
+        issue_pending(machine, 1, ops.LoadCB(ADDR))
+        word = machine.protocol.addr_map.word_base(ADDR)
+        entry = machine.protocol.cb_dirs[
+            machine.protocol.bank_of(ADDR)].lookup(word)
+        assert 1 in entry.waiters
+        return machine, entry
+
+    def test_arrival_fifo_desync_detected(self):
+        machine, entry = self._parked_entry()
+        entry.arrival.append(2)  # phantom arrival with no waiter record
+        with pytest.raises(InvariantViolation, match="arrival FIFO"):
+            check_callback_directory(machine.protocol)
+
+    def test_invalid_waiter_core_detected(self):
+        machine, entry = self._parked_entry()
+        entry.waiters[99] = entry.waiters.pop(1)  # out-of-range core id
+        with pytest.raises(InvariantViolation, match="invalid waiter core"):
+            check_callback_directory(machine.protocol)
+
+    def test_over_capacity_detected(self):
+        machine, _entry = self._parked_entry()
+        machine.protocol.config.cb_entries_per_bank = 0
+        with pytest.raises(InvariantViolation, match="> capacity"):
+            check_callback_directory(machine.protocol)
+
+    def test_missing_sharer_detected(self):
+        machine = Machine(config_for("Invalidation", num_cores=4))
+        issue(machine, 0, ops.Store(ADDR, 1))
+        issue(machine, 1, ops.Load(ADDR))
+        line = machine.protocol.addr_map.line_of(ADDR)
+        # Corrupt: the directory forgets a live S copy entirely.
+        dir_entry = machine.protocol._dir.get(line)
+        dir_entry.owner = None
+        dir_entry.sharers.clear()
+        with pytest.raises(InvariantViolation, match="missing from"):
+            check_mesi_swmr(machine.protocol)
+
+    def test_shared_line_classified_private_detected(self):
+        machine = Machine(config_for("BackOff-10", num_cores=4))
+        issue(machine, 0, ops.Load(ADDR))
+        line = machine.protocol.addr_map.line_of(ADDR)
+        payload = machine.protocol.l1[0].lookup(line).payload
+        payload.shared = True  # cached as shared, classifier says private
+        with pytest.raises(InvariantViolation, match="classified private"):
+            check_vips_l1(machine.protocol)
