@@ -1,0 +1,33 @@
+"""Static and dynamic analysis of the four synchronization encodings.
+
+Two complementary checkers over the op vocabulary of
+:mod:`repro.protocols.ops`:
+
+* the **static encoding linter** (:mod:`repro.analyze.linter`) drives
+  every sync primitive and workload generator symbolically, per style,
+  and checks the recorded ops against the paper's Table-1 discipline
+  (:mod:`repro.analyze.rules`), plus an AST pass
+  (:mod:`repro.analyze.astlint`) for ops constructed but never yielded;
+* the **dynamic race sanitizer** (:mod:`repro.analyze.hb`) replays a
+  recorded trace through a FastTrack-style vector-clock happens-before
+  engine and reports unannotated conflicting accesses (errors) and
+  annotated-but-never-racing words (perf advisories).
+
+Both produce machine-readable :class:`repro.analyze.findings.Finding`
+records; the ``repro-analyze`` CLI (:mod:`repro.analyze.cli`) fronts
+them for CI.
+"""
+
+from repro.analyze.findings import Finding, Report, Severity
+from repro.analyze.hb import HBEngine, RaceMonitor, analyze_trace
+from repro.analyze.linter import (DEFAULT_WORKLOADS, PRIMITIVE_SPECS,
+                                  PrimitiveSpec, lint_all, lint_primitive,
+                                  lint_workload)
+from repro.analyze.rules import RULES, Rule
+
+__all__ = [
+    "Finding", "Report", "Severity", "Rule", "RULES",
+    "HBEngine", "RaceMonitor", "analyze_trace",
+    "PrimitiveSpec", "PRIMITIVE_SPECS", "DEFAULT_WORKLOADS",
+    "lint_all", "lint_primitive", "lint_workload",
+]

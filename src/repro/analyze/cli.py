@@ -1,0 +1,234 @@
+"""``repro-analyze``: the encoding linter and race sanitizer.
+
+Usage::
+
+    # Statically lint every registered encoding under all four styles
+    # (plus the default workload bodies and the AST never-yielded pass).
+    repro-analyze lint
+
+    # Just two primitives under the callback styles, as JSON findings.
+    repro-analyze lint --primitive tas --primitive ttas \\
+        --style cb_all --style cb_one --json --out findings.json
+
+    # Prove the linter catches the seeded-bad fixtures.
+    repro-analyze lint --fixtures
+
+    # Dynamic happens-before race check of one simulated run.
+    repro-analyze race --workload lock:ttas --config CB-One
+
+    # The same, post-hoc over a recorded memory-op trace.
+    repro-analyze race --trace ops.jsonl --style cb_one
+
+    # Merge archived findings files and summarize (exit 1 on errors).
+    repro-analyze report lint.json race.json
+
+Workload specs are ``name[:detail]`` against the orchestrator registry,
+exactly as in ``repro-obs``/``repro-orchestrate``. Exit status is 1
+whenever error-severity findings exist, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.config import PAPER_CONFIGS, config_for
+from repro.sync.base import SyncStyle
+
+from repro.analyze.findings import Report
+
+#: ``name:detail`` shorthand -> the workload param the detail names.
+_DETAIL_PARAM = {"app": "name", "lock": "lock_name",
+                 "barrier": "barrier_name"}
+
+
+def _parse_styles(names: List[str]) -> List[SyncStyle]:
+    if not names:
+        return list(SyncStyle)
+    out = []
+    for name in names:
+        key = name.lower().replace("-", "_")
+        try:
+            out.append(SyncStyle(key))
+        except ValueError:
+            choices = ", ".join(s.value for s in SyncStyle)
+            raise SystemExit(f"unknown style {name!r} (choose from "
+                             f"{choices})")
+    return out
+
+
+def _emit(report: Report, args: argparse.Namespace) -> None:
+    """Print or write ``report`` per the common --json/--out options."""
+    if args.out:
+        with open(args.out, "w") as handle:
+            report.dump(handle)
+    if args.json and not args.out:
+        print(report.to_json())
+    elif not args.json:
+        for finding in report:
+            print(finding.brief())
+        print(report.summary())
+
+
+def _parse_pairs(pairs: List[str], what: str) -> Dict[str, Any]:
+    from repro.orchestrate.cli import parse_value
+    out: Dict[str, Any] = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad {what} {pair!r}; expected KEY=VALUE")
+        out[key] = parse_value(value)
+    return out
+
+
+# ------------------------------------------------------------- subcommands
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.fixtures:
+        from repro.analyze.fixtures import check_fixtures
+        problems = check_fixtures()
+        for problem in problems:
+            print(f"FIXTURE MISMATCH: {problem}")
+        print("fixture check:",
+              "PASS" if not problems else f"FAIL ({len(problems)})")
+        return 1 if problems else 0
+
+    from repro.analyze import astlint, linter
+
+    styles = _parse_styles(args.style)
+    unknown = [p for p in (args.primitive or ())
+               if p not in linter.PRIMITIVE_SPECS]
+    if unknown:
+        raise SystemExit(f"unknown primitive(s) {unknown}; registered: "
+                         f"{sorted(linter.PRIMITIVE_SPECS)}")
+    report = linter.lint_all(
+        primitives=args.primitive or None, styles=styles,
+        workloads=None if args.no_workloads else linter.DEFAULT_WORKLOADS)
+    if not args.no_ast:
+        report.merge(astlint.lint_default())
+    _emit(report, args)
+    return 0 if report.ok else 1
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    if args.trace:
+        if not args.style:
+            raise SystemExit("--trace needs --style (the encoding the "
+                             "trace was recorded under)")
+        from repro.trace.recorder import load_trace
+        from repro.analyze.hb import analyze_trace
+        with open(args.trace) as handle:
+            events = load_trace(handle)
+        style = _parse_styles([args.style])[0]
+        report = analyze_trace(events, style=style)
+    else:
+        if not args.workload:
+            raise SystemExit("race needs --workload (or --trace FILE)")
+        from repro.core.machine import Machine
+        from repro.orchestrate.registry import build_workload
+        from repro.analyze.hb import RaceMonitor
+
+        name, _, detail = args.workload.partition(":")
+        name = name.replace("-", "_")
+        params = _parse_pairs(args.param, "--param")
+        if detail:
+            params.setdefault(_DETAIL_PARAM.get(name, "name"), detail)
+        overrides = _parse_pairs(args.override, "--override")
+        if args.cores:
+            overrides.setdefault("num_cores", args.cores)
+        config = config_for(args.config, seed=args.seed, **overrides)
+        telemetry = None
+        if args.obs:
+            from repro.obs.telemetry import Telemetry, TelemetryConfig
+            telemetry = Telemetry(TelemetryConfig())
+        machine = Machine(config, telemetry=telemetry)
+        monitor = RaceMonitor(machine)
+        build_workload(name, params).install(machine)
+        machine.run()
+        report = monitor.finish()
+    _emit(report, args)
+    return 0 if report.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    merged = Report()
+    for path in args.files:
+        with open(path) as handle:
+            merged.merge(Report.load(handle))
+    _emit(merged, args)
+    return 0 if merged.ok else 1
+
+
+# ------------------------------------------------------------------ parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static Table-1 encoding linter and dynamic "
+                    "happens-before race sanitizer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="statically lint sync encodings and workload bodies")
+    lint.add_argument("--primitive", action="append", default=[],
+                      help="encoding to lint (repeatable; default all)")
+    lint.add_argument("--style", action="append", default=[],
+                      help="sync style (mesi/vips/cb_all/cb_one; "
+                           "repeatable; default all)")
+    lint.add_argument("--no-workloads", action="store_true",
+                      help="skip linting the default workload bodies")
+    lint.add_argument("--no-ast", action="store_true",
+                      help="skip the never-yielded-op AST pass")
+    lint.add_argument("--fixtures", action="store_true",
+                      help="verify the linter against the seeded-bad "
+                           "fixture encodings instead")
+    lint.add_argument("--json", action="store_true",
+                      help="print findings as JSON")
+    lint.add_argument("--out", default=None,
+                      help="write findings JSON to this file")
+    lint.set_defaults(fn=cmd_lint)
+
+    race = sub.add_parser(
+        "race", help="happens-before race check (simulate or post-hoc)")
+    race.add_argument("--workload", default=None,
+                      help="registry spec to simulate, e.g. lock:ttas")
+    race.add_argument("--config", default="CB-One",
+                      help=f"configuration label from {PAPER_CONFIGS}")
+    race.add_argument("--cores", type=int, default=4,
+                      help="num_cores override (0 = config default)")
+    race.add_argument("--seed", type=int, default=1)
+    race.add_argument("--param", action="append", default=[],
+                      metavar="KEY=VALUE", help="workload param")
+    race.add_argument("--override", action="append", default=[],
+                      metavar="KEY=VALUE", help="config override")
+    race.add_argument("--obs", action="store_true",
+                      help="attach the obs probe bus for precise "
+                           "callback wake-up edges")
+    race.add_argument("--trace", default=None,
+                      help="analyze a recorded JSONL trace instead of "
+                           "simulating")
+    race.add_argument("--style", default=None,
+                      help="encoding of the recorded trace (with --trace)")
+    race.add_argument("--json", action="store_true")
+    race.add_argument("--out", default=None)
+    race.set_defaults(fn=cmd_race)
+
+    report = sub.add_parser(
+        "report", help="merge and summarize archived findings files")
+    report.add_argument("files", nargs="+",
+                        help="findings JSON files (from --out)")
+    report.add_argument("--json", action="store_true")
+    report.add_argument("--out", default=None,
+                        help="write the merged findings here")
+    report.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

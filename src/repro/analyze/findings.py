@@ -1,0 +1,164 @@
+"""Machine-readable findings shared by the static linter and the
+dynamic race sanitizer.
+
+A :class:`Finding` names the rule it violates, a severity, and where the
+problem is — ``file:line`` of the offending op for static findings,
+``core/addr/cycle`` (plus the happens-before witness) for dynamic ones.
+A :class:`Report` is an ordered collection with JSON round-tripping, so
+CLI runs can be archived as CI artifacts and re-read by
+``repro-analyze report``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the discipline the callback design relies
+    on (an unannotated race, a missing fence); ``ADVICE`` findings are
+    performance-only (an over-annotated access, a pointless back-off);
+    ``WARNING`` marks analysis-quality caveats (e.g. a truncated
+    symbolic exploration).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    ADVICE = "advice"
+
+
+@dataclass
+class Finding:
+    """One rule violation (or advisory)."""
+
+    rule: str
+    severity: Severity
+    message: str
+    #: Static context: which encoding, which style, where in the source.
+    primitive: Optional[str] = None
+    style: Optional[str] = None
+    session: Optional[str] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
+    #: Dynamic context: who raced, on what word, when.
+    core: Optional[int] = None
+    addr: Optional[int] = None
+    cycle: Optional[int] = None
+    #: The happens-before witness for dynamic findings: both accesses
+    #: and the observing core's vector clock at detection time.
+    witness: Optional[Dict[str, Any]] = None
+
+    def location(self) -> str:
+        """Human-readable position: file:line, or core/addr/cycle."""
+        if self.file is not None:
+            return f"{self.file}:{self.line}"
+        if self.addr is not None:
+            where = f"addr {self.addr:#x}"
+            if self.core is not None:
+                where = f"core {self.core} {where}"
+            if self.cycle is not None:
+                where += f" cycle {self.cycle}"
+            return where
+        return "<unlocated>"
+
+    def brief(self) -> str:
+        ctx = ""
+        if self.primitive is not None:
+            ctx = f" [{self.primitive}/{self.style}"
+            if self.session:
+                ctx += f".{self.session}"
+            ctx += "]"
+        return (f"{self.severity.value.upper()} {self.rule}{ctx} "
+                f"{self.location()}: {self.message}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"rule": self.rule,
+                               "severity": self.severity.value,
+                               "message": self.message}
+        for key in ("primitive", "style", "session", "file", "line",
+                    "core", "addr", "cycle", "witness"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        fields = dict(data)
+        severity = Severity(fields.pop("severity"))
+        return cls(rule=fields.pop("rule"), severity=severity,
+                   message=fields.pop("message"), **fields)
+
+
+@dataclass
+class Report:
+    """An ordered list of findings with summary/serialization helpers."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    def advisories(self) -> List[Finding]:
+        return self.by_severity(Severity.ADVICE)
+
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors()
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for finding in self.findings:
+            out[finding.severity.value] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (f"{counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['advice']} advisor(y/ies)")
+
+    # ------------------------------------------------------------- JSON
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps({"findings": [f.to_dict() for f in self.findings],
+                           "counts": self.counts()}, indent=indent)
+
+    def dump(self, stream: IO[str]) -> None:
+        stream.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        data = json.loads(text)
+        findings = [Finding.from_dict(f) for f in data["findings"]]
+        return cls(findings=findings)
+
+    @classmethod
+    def load(cls, stream: IO[str]) -> "Report":
+        return cls.from_json(stream.read())

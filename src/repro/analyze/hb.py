@@ -1,0 +1,416 @@
+"""FastTrack-style happens-before race sanitizer over recorded traces.
+
+The callback design is only correct for programs that are DRF *modulo
+annotations*: every conflicting access to a spun-on word is annotated
+(``ld_through``/``ld_cb``/``st_cb*``/atomics) and everything else is
+data-race-free. This module checks that dynamically:
+
+* each core carries a vector clock ``C[c]``;
+* each word carries a release clock ``L[a]``: every annotated write to
+  ``a`` joins the writer's clock into it (the LLC write-through *is* the
+  release), then bumps the writer;
+* every annotated read of ``a`` acquires ``L[a]`` — the read returns the
+  released value, which is the classic reads-from edge;
+* plain accesses are checked against a per-word shadow (last plain/racy
+  read/write per core): two conflicting accesses where at least one is
+  plain and neither happens-before the other is a ``RACE-E001`` error,
+  reported with the full witness (both accesses plus the observing
+  clock).
+
+Trace events carry *issue* cycles, but a read returns its value at
+*completion* — after an LLC round trip, or after a wake-up long parked
+in the callback directory — so the write it reads from may be issued
+later than the read. Every annotated read's acquire is therefore
+deferred to the reading core's next event: cores issue in order, so by
+then the waking write has been issued, processed, and joined ``L[a]``.
+A ``cb.wake``/``spin.wake`` probe event (when the run had the obs layer
+attached) drains the deferred acquire earlier and more precisely.
+
+Under MESI the figures' left columns race through the coherent L1 on
+purpose, so words touched by atomics/spins are *sync words*: plain
+accesses to them act as release (store) / acquire (load) and are exempt
+from race checks.
+
+``finish`` also emits ``RACE-A001`` advisories: words that carry
+annotations but were only ever touched by a single core pay LLC
+round-trips for no synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sync.base import SyncStyle
+from repro.trace.recorder import DERIVED_KINDS, TraceEvent
+
+from repro.analyze.findings import Finding, Report
+from repro.analyze.rules import RULES
+
+Clock = Dict[int, int]
+Epoch = Tuple[int, int]
+
+#: Trace kinds that read / write racily (annotated accesses).
+_RACY_READS = {"ld_through", "ld_cb"}
+_RACY_WRITES = {"st_through", "st_cb1", "st_cb0"}
+
+
+def _join(into: Clock, other: Clock) -> None:
+    for core, stamp in other.items():
+        if stamp > into.get(core, 0):
+            into[core] = stamp
+
+
+def _ordered(epoch: Epoch, clock: Clock) -> bool:
+    """Does the access at ``epoch`` happen-before a clock ``clock``?"""
+    core, stamp = epoch
+    return clock.get(core, 0) >= stamp
+
+
+@dataclass
+class _Access:
+    """Shadow-memory cell: one core's last access of a category."""
+
+    core: int
+    epoch: Epoch
+    time: int
+    kind: str
+
+
+@dataclass
+class _WordState:
+    """Everything the engine tracks per word."""
+
+    release: Clock = field(default_factory=dict)        # L[a]
+    # Shadow cells by category: plain/racy x read/write, per core.
+    plain_r: Dict[int, _Access] = field(default_factory=dict)
+    plain_w: Dict[int, _Access] = field(default_factory=dict)
+    racy_r: Dict[int, _Access] = field(default_factory=dict)
+    racy_w: Dict[int, _Access] = field(default_factory=dict)
+    cores: Set[int] = field(default_factory=set)
+    annotated: bool = False
+    first_racy: Optional[_Access] = None
+
+
+def _style_is_mesi(style: Any) -> bool:
+    if style is None:
+        return False
+    if isinstance(style, SyncStyle):
+        return style is SyncStyle.MESI
+    return str(style).lower() in ("mesi", "invalidation")
+
+
+class HBEngine:
+    """Vector-clock happens-before engine over a trace event stream."""
+
+    def __init__(self, style: Any = None, word_bytes: int = 8,
+                 line_bytes: int = 64,
+                 sync_lines: Optional[Iterable[int]] = None) -> None:
+        self.mesi = _style_is_mesi(style)
+        self.word_bytes = word_bytes
+        self.line_bytes = line_bytes
+        self.report = Report()
+        self._clocks: Dict[int, Clock] = {}
+        self._words: Dict[int, _WordState] = {}
+        self._pending: Dict[int, Set[int]] = {}   # core -> parked words
+        #: Words known to be sync words under MESI: lines the layout
+        #: allocated for sync (exact, when available) plus words a spin
+        #: or atomic touched (promotion fallback for loaded traces).
+        self._sync_lines: Set[int] = set(sync_lines or ())
+        self._sync_addrs: Set[int] = set()
+        self._seen_pairs: Set[Tuple] = set()
+        self.stats: Dict[str, int] = {
+            "events": 0, "plain": 0, "racy": 0, "releases": 0,
+            "acquires": 0,
+        }
+
+    # ------------------------------------------------------------ plumbing
+
+    def _clock(self, core: int) -> Clock:
+        clock = self._clocks.get(core)
+        if clock is None:
+            clock = {core: 1}
+            self._clocks[core] = clock
+        return clock
+
+    def _word(self, addr: int) -> _WordState:
+        word = self._words.get(addr)
+        if word is None:
+            word = _WordState()
+            self._words[addr] = word
+        return word
+
+    def _addr(self, event: TraceEvent) -> int:
+        return (event.addr // self.word_bytes) * self.word_bytes
+
+    def _epoch(self, core: int) -> Epoch:
+        return (core, self._clock(core)[core])
+
+    def _is_sync(self, addr: int) -> bool:
+        """Is ``addr`` a MESI sync word (plain racing is the encoding)?"""
+        if not self.mesi:
+            return False
+        if addr in self._sync_addrs:
+            return True
+        line = (addr // self.line_bytes) * self.line_bytes
+        return line in self._sync_lines
+
+    def _acquire(self, core: int, addr: int) -> None:
+        _join(self._clock(core), self._word(addr).release)
+        self.stats["acquires"] += 1
+
+    def _release(self, core: int, addr: int) -> None:
+        clock = self._clock(core)
+        _join(self._word(addr).release, clock)
+        clock[core] += 1
+        self.stats["releases"] += 1
+
+    def _drain(self, core: int) -> None:
+        """Apply deferred acquires of completed blocking reads."""
+        for addr in self._pending.pop(core, ()):
+            self._acquire(core, addr)
+
+    # ------------------------------------------------------------- checks
+
+    def _record(self, word: _WordState, cell: Dict[int, _Access],
+                access: _Access) -> None:
+        cell[access.core] = access
+        word.cores.add(access.core)
+
+    def _check(self, addr: int, word: _WordState, access: _Access,
+               against: Sequence[Dict[int, _Access]]) -> None:
+        clock = self._clock(access.core)
+        for cell in against:
+            for other in cell.values():
+                if other.core == access.core:
+                    continue
+                if _ordered(other.epoch, clock):
+                    continue
+                self._report_race(addr, other, access)
+
+    def _report_race(self, addr: int, prior: _Access,
+                     current: _Access) -> None:
+        key = ("RACE-E001", addr, prior.core, current.core, prior.kind,
+               current.kind)
+        if key in self._seen_pairs:
+            return
+        self._seen_pairs.add(key)
+        rule = RULES["RACE-E001"]
+        clock = self._clock(current.core)
+        witness = {
+            "prior": {"core": prior.core, "cycle": prior.time,
+                      "kind": prior.kind, "epoch": list(prior.epoch)},
+            "current": {"core": current.core, "cycle": current.time,
+                        "kind": current.kind,
+                        "epoch": list(current.epoch)},
+            "clock": {str(core): stamp for core, stamp in clock.items()},
+        }
+        self.report.add(Finding(
+            rule=rule.id, severity=rule.severity,
+            message=(f"{rule.title}: {prior.kind} by core {prior.core} @ "
+                     f"cycle {prior.time} is concurrent with "
+                     f"{current.kind} by core {current.core}"),
+            core=current.core, addr=addr, cycle=current.time,
+            witness=witness,
+        ))
+
+    # ------------------------------------------------------------ accesses
+
+    def _plain_read(self, addr: int, access: _Access) -> None:
+        word = self._word(addr)
+        self.stats["plain"] += 1
+        if self._is_sync(addr):
+            self._acquire(access.core, addr)
+            word.cores.add(access.core)
+            return
+        self._check(addr, word, access, (word.plain_w, word.racy_w))
+        self._record(word, word.plain_r, access)
+
+    def _plain_write(self, addr: int, access: _Access) -> None:
+        word = self._word(addr)
+        self.stats["plain"] += 1
+        if self._is_sync(addr):
+            self._release(access.core, addr)
+            word.cores.add(access.core)
+            return
+        self._check(addr, word, access,
+                    (word.plain_w, word.plain_r, word.racy_w, word.racy_r))
+        self._record(word, word.plain_w, access)
+
+    def _racy_read(self, addr: int, access: _Access) -> None:
+        word = self._word(addr)
+        self.stats["racy"] += 1
+        word.annotated = True
+        if word.first_racy is None:
+            word.first_racy = access
+        # The acquire is deferred to the core's next event: events carry
+        # *issue* cycles, and the write this read returns (LLC round
+        # trip, or a wake-up long after a parked ld_cb) may be issued
+        # later. It is always issued before this core's next op, though:
+        # cores are in-order, so next-issue >= this read's completion >=
+        # the LLC apply of the write read > the write's issue.
+        self._pending.setdefault(access.core, set()).add(addr)
+        self._check(addr, word, access, (word.plain_w,))
+        self._record(word, word.racy_r, access)
+
+    def _racy_write(self, addr: int, access: _Access) -> None:
+        word = self._word(addr)
+        self.stats["racy"] += 1
+        word.annotated = True
+        if word.first_racy is None:
+            word.first_racy = access
+        self._check(addr, word, access, (word.plain_w, word.plain_r))
+        self._record(word, word.racy_w, access)
+        self._release(access.core, addr)
+
+    # ------------------------------------------------------------- driving
+
+    def feed(self, event: TraceEvent, skip_composite: bool = False) -> None:
+        """Process one trace event."""
+        self.stats["events"] += 1
+        core, kind = event.core, event.kind
+        # The st half of an atomic must not drain its own ld half's
+        # deferred acquire: the RMW completes as one unit, so the
+        # acquire only lands at the core's next distinct event.
+        if kind != "atomic.st":
+            self._drain(core)
+        if kind == "cb.wake":
+            # Precise early drain from an obs wake probe: the waking
+            # write applied at this cycle, and its (earlier-issued)
+            # trace event has already been processed.
+            self._drain(core)
+            return
+        if kind in ("data", "fence"):
+            return
+        addr = self._addr(event)
+        if kind == "ld":
+            self._plain_read(addr, self._make(event, "ld"))
+        elif kind == "st":
+            self._plain_write(addr, self._make(event, "st"))
+        elif kind in _RACY_READS:
+            self._racy_read(addr, self._make(event, kind))
+        elif kind in _RACY_WRITES:
+            self._racy_write(addr, self._make(event, kind))
+        elif kind == "spin":
+            # MESI local spin: a (blocking) sync read of a sync word.
+            self._word(addr).cores.add(core)
+            self._pending.setdefault(core, set()).add(addr)
+        elif kind == "atomic":
+            if not skip_composite:
+                self._composite_atomic(addr, event)
+        elif kind == "atomic.ld":
+            self._racy_read(addr, self._make(event, "atomic.ld"))
+        elif kind == "atomic.st":
+            self._racy_write(addr, self._make(event, "atomic.st"))
+
+    def _composite_atomic(self, addr: int, event: TraceEvent) -> None:
+        """Legacy trace without derived halves: read + write in one."""
+        self._racy_read(addr, self._make(event, "atomic"))
+        self._racy_write(addr, self._make(event, "atomic"))
+
+    def _make(self, event: TraceEvent, kind: str) -> _Access:
+        return _Access(core=event.core, epoch=self._epoch(event.core),
+                       time=event.time, kind=kind)
+
+    # -------------------------------------------------------------- runs
+
+    def process(self, events: Iterable[TraceEvent],
+                wakes: Optional[Sequence[TraceEvent]] = None) -> Report:
+        """Run the engine over a full trace and return the report.
+
+        ``wakes`` are optional ``cb.wake`` pseudo-events (from the obs
+        probe bus) merged into the stream by cycle; they make the
+        deferred acquires of parked callback reads precise.
+        """
+        events = list(events)
+        has_halves = any(e.kind in DERIVED_KINDS for e in events)
+        if self.mesi:
+            for event in events:
+                if event.kind in ("atomic", "spin"):
+                    self._sync_addrs.add(self._addr(event))
+        if wakes:
+            # Stable merge; at equal cycles trace events go first so a
+            # wake never overtakes the write that caused it.
+            events = sorted(
+                [(e.time, 0, i, e) for i, e in enumerate(events)]
+                + [(w.time, 1, i, w) for i, w in enumerate(wakes)])
+            events = [item[3] for item in events]
+        for event in events:
+            self.feed(event, skip_composite=has_halves)
+        return self.finish()
+
+    def finish(self) -> Report:
+        """Emit the perf advisories and return the accumulated report."""
+        rule = RULES["RACE-A001"]
+        for addr in sorted(self._words):
+            word = self._words[addr]
+            if not word.annotated or len(word.cores) > 1:
+                continue
+            sample = word.first_racy
+            self.report.add(Finding(
+                rule=rule.id, severity=rule.severity,
+                message=(f"{rule.title}: word {addr:#x} is annotated but "
+                         f"only core {sample.core if sample else '?'} "
+                         f"ever touches it"),
+                core=sample.core if sample else None, addr=addr,
+                cycle=sample.time if sample else None,
+            ))
+        return self.report
+
+
+def analyze_trace(events: Iterable[TraceEvent], style: Any = None,
+                  word_bytes: int = 8, line_bytes: int = 64,
+                  sync_lines: Optional[Iterable[int]] = None,
+                  wakes: Optional[Sequence[TraceEvent]] = None) -> Report:
+    """Post-hoc race analysis of a recorded (or loaded) trace."""
+    engine = HBEngine(style=style, word_bytes=word_bytes,
+                      line_bytes=line_bytes, sync_lines=sync_lines)
+    return engine.process(events, wakes=wakes)
+
+
+class RaceMonitor:
+    """In-simulation sanitizer: record a machine's ops (and its
+    ``cb.wake`` probes when the obs layer is attached), analyze at
+    :meth:`finish`.
+
+    Attach before spawning threads, like a
+    :class:`~repro.trace.recorder.TraceRecorder`::
+
+        machine = Machine(config)
+        monitor = RaceMonitor(machine)
+        workload.install(machine)
+        machine.run()
+        report = monitor.finish()
+        assert report.ok, report.summary()
+    """
+
+    def __init__(self, machine: Any, style: Any = None) -> None:
+        from repro.sync.base import style_for
+        from repro.trace.recorder import TraceRecorder
+
+        self.machine = machine
+        self.style = style if style is not None else style_for(
+            machine.config)
+        self._recorder = TraceRecorder(machine)
+        self._wakes: List[TraceEvent] = []
+        if machine.obs is not None:
+            machine.obs.subscribe("cb.wake", self._on_wake)
+            machine.obs.subscribe("spin.wake", self._on_wake)
+
+    def _on_wake(self, topic: str, cycle: int, fields: Dict[str, Any]
+                 ) -> None:
+        core = fields.get("core")
+        word = fields.get("word")
+        if core is None or word is None:
+            return
+        self._wakes.append(TraceEvent(time=cycle, core=core,
+                                      kind="cb.wake", addr=word, weight=0))
+
+    def finish(self) -> Report:
+        """Stop recording and run the happens-before analysis."""
+        events = self._recorder.detach()
+        config = self.machine.config
+        engine = HBEngine(style=self.style, word_bytes=config.word_bytes,
+                          line_bytes=config.line_bytes,
+                          sync_lines=self.machine.layout.sync_lines)
+        return engine.process(events, wakes=self._wakes)

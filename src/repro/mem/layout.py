@@ -88,6 +88,10 @@ class MemoryLayout:
         self.config = config
         self.addr_map = AddressMap(config)
         self._next = base
+        #: Line base of every sync-word allocation, in order. Analysis
+        #: tools (repro.analyze.hb) use this to tell sync words from
+        #: data without guessing from access patterns.
+        self.sync_lines: List[int] = []
 
     def _align(self, alignment: int) -> None:
         rem = self._next % alignment
@@ -106,6 +110,7 @@ class MemoryLayout:
     def alloc_sync_word(self) -> int:
         """One synchronization word, alone in its own cache line."""
         region = self.alloc(self.config.line_bytes, align=self.config.line_bytes)
+        self.sync_lines.append(region.base)
         return region.base
 
     def alloc_sync_words(self, count: int) -> List[int]:

@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.protocols.ops import (Atomic, AtomicKind, BackoffWait, Fence,
-                                 FenceKind, LoadCB, LoadThrough, SpinUntil,
-                                 Store, StoreThrough)
+                                 FenceKind, Load, LoadCB, LoadThrough,
+                                 SpinUntil, Store, StoreThrough)
 from repro.sync.base import SyncPrimitive, SyncStyle
 
 _NEXT = 0
@@ -126,9 +126,13 @@ class MCSLock(SyncPrimitive):
         self._require_ready()
         node = self._node_of[ctx.tid]
         try:
-            if self.style is not SyncStyle.MESI:
+            if self.style is SyncStyle.MESI:
+                # Plain load: invalidations keep the L1 copy coherent, so
+                # the MESI column needs no through-op here (cf. Figure 12).
+                successor = yield Load(self._next(node))
+            else:
                 yield Fence(FenceKind.SELF_DOWN)
-            successor = yield LoadThrough(self._next(node))
+                successor = yield LoadThrough(self._next(node))
             if successor == NIL:
                 result = yield Atomic(self.tail_addr, AtomicKind.CAS,
                                       (node, NIL))

@@ -29,7 +29,7 @@ from typing import Dict
 
 from repro.protocols.ops import (Atomic, AtomicKind, BackoffWait, Fence,
                                  FenceKind, LoadCB, LoadThrough, SpinUntil,
-                                 StoreThrough)
+                                 StKind, Store, StoreThrough)
 from repro.sync.base import SyncPrimitive, SyncStyle
 
 #: Encoded "a writer holds the lock" state (word values are plain ints).
@@ -123,10 +123,12 @@ class RWLock(SyncPrimitive):
 
     def release_write(self, ctx):
         self._require_ready()
-        if self.style is not SyncStyle.MESI:
+        if self.style is SyncStyle.MESI:
+            # Plain store: the MESI column races through the coherent L1.
+            yield Store(self.state_addr, 0)
+        else:
             yield Fence(FenceKind.SELF_DOWN)
-        yield StoreThrough(self.state_addr, 0)
+            yield StoreThrough(self.state_addr, 0)
 
-    def _release_st(self):
-        from repro.protocols.ops import StKind
+    def _release_st(self) -> StKind:
         return StKind.CBA

@@ -21,6 +21,12 @@ from repro.protocols import ops
 RACY_KINDS = {"ld_through", "ld_cb", "st_through", "st_cb1", "st_cb0",
               "atomic"}
 
+#: Zero-weight events derived from a composite op (the two halves of an
+#: Atomic). They follow their composite "atomic" event in the trace so
+#: happens-before analysis sees the read and the write separately;
+#: aggregate metrics and replay skip them.
+DERIVED_KINDS = {"atomic.ld", "atomic.st"}
+
 
 @dataclass
 class TraceEvent:
@@ -80,6 +86,23 @@ def _classify(op: ops.Op) -> Optional[TraceEvent]:
     return TraceEvent(time=0, core=0, kind=kind, addr=addr, detail=detail)
 
 
+def _atomic_halves(op: ops.Atomic) -> List[TraceEvent]:
+    """The derived read/write events of one Atomic.
+
+    The ``atomic.ld`` half carries the LdKind name, the ``atomic.st``
+    half the StKind name. The store half is the *potential* write: for
+    conditional RMWs (T&S, CAS, T&D) the recorder cannot know success at
+    issue time, so the half is always emitted and consumers must treat
+    it conservatively.
+    """
+    return [
+        TraceEvent(time=0, core=0, kind="atomic.ld", addr=op.addr,
+                   weight=0, detail=[op.ld.name]),
+        TraceEvent(time=0, core=0, kind="atomic.st", addr=op.addr,
+                   weight=0, detail=[op.st.name]),
+    ]
+
+
 class TraceRecorder:
     """Wraps a machine's protocol to log every issued operation."""
 
@@ -94,11 +117,15 @@ class TraceRecorder:
     def _issue(self, core: int, op: ops.Op):
         event = _classify(op)
         if event is not None:
-            event.time = self.machine.engine.now
-            event.core = core
-            self.events.append(event)
-            if self._stream is not None:
-                self._stream.write(json.dumps(asdict(event)) + "\n")
+            emitted = [event]
+            if isinstance(op, ops.Atomic):
+                emitted.extend(_atomic_halves(op))
+            for item in emitted:
+                item.time = self.machine.engine.now
+                item.core = core
+                self.events.append(item)
+                if self._stream is not None:
+                    self._stream.write(json.dumps(asdict(item)) + "\n")
         return self._original_issue(core, op)
 
     def detach(self) -> List[TraceEvent]:

@@ -31,7 +31,7 @@ from typing import Dict, List, Sequence
 
 from repro.core.machine import Machine, ThreadBody
 from repro.protocols import ops
-from repro.trace.recorder import TraceEvent
+from repro.trace.recorder import DERIVED_KINDS, TraceEvent
 
 
 def _reconstruct(event: TraceEvent) -> ops.Op:
@@ -70,6 +70,9 @@ def replay_bodies(events: Sequence[TraceEvent]) -> List[ThreadBody]:
     """Build per-thread generator factories replaying ``events``."""
     per_thread: Dict[int, List[TraceEvent]] = defaultdict(list)
     for event in events:
+        if event.kind in DERIVED_KINDS:
+            # Atomic halves duplicate their composite "atomic" event.
+            continue
         per_thread[event.core].append(event)
     num_threads = max(per_thread) + 1 if per_thread else 0
 

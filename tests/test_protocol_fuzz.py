@@ -13,12 +13,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analyze.hb import RaceMonitor
 from repro.config import config_for
 from repro.core.machine import Machine
 from repro.protocols import ops
 from repro.validation import audit_machine
 
 LABELS = ("CB-All", "CB-One")
+
+
+def _assert_race_free(report):
+    """Every conflicting access in the run must be annotated (Table 1)."""
+    assert not report.errors(), "\n".join(
+        f"{finding.brief()}\n  witness: {finding.witness}"
+        for finding in report.errors())
 
 op_kind = st.sampled_from(
     ["ld_through", "st_through", "st_cb1", "st_cb0", "tas", "faa", "swap",
@@ -87,9 +95,13 @@ def test_random_racy_soup_never_deadlocks(label, script, entries, seed):
                 yield ops.StoreThrough(addr, 0)
 
     bodies = [body(per_thread[t]) for t in range(3)] + [flusher]
+    monitor = RaceMonitor(machine)
     machine.spawn(bodies)
     machine.run()  # DeadlockError would propagate
     audit_machine(machine)
+    # Purely annotated traffic: the happens-before sanitizer must not
+    # report a single unannotated race, whatever the fuzz interleaved.
+    _assert_race_free(monitor.finish())
     # After the final flush rounds, every word holds the flusher's 0 or a
     # later fuzz write that landed after it — always a value someone wrote.
     for addr in words:

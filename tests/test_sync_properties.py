@@ -5,12 +5,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analyze.hb import RaceMonitor
 from repro.config import config_for
 from repro.core.machine import Machine
 from repro.protocols.ops import Compute
 from repro.sync import make_barrier, make_lock, style_for
 
 LABELS = ("Invalidation", "BackOff-0", "CB-All", "CB-One")
+
+
+def _assert_race_free(report):
+    """The encoding's issued ops must be race-free modulo annotation;
+    failures print the happens-before witness."""
+    assert not report.errors(), "\n".join(
+        f"{finding.brief()}\n  witness: {finding.witness}"
+        for finding in report.errors())
 
 
 @settings(max_examples=20, deadline=None)
@@ -40,9 +49,11 @@ def test_lock_counter_never_loses_updates(label, lock_name, threads,
             machine.store.write(counter, value + 1)
             yield from lock.release(ctx)
 
+    monitor = RaceMonitor(machine)
     machine.spawn([body] * threads)
     machine.run()
     assert machine.store.read(counter) == threads * iterations
+    _assert_race_free(monitor.finish())
 
 
 @settings(max_examples=15, deadline=None)
@@ -75,9 +86,11 @@ def test_barrier_epochs_never_violated(label, barrier_name, episodes, seed):
             yield from barrier.wait(ctx)
             ok.append(arrived[k] == threads)
 
+    monitor = RaceMonitor(machine)
     machine.spawn([body] * threads)
     machine.run()
     assert all(ok)
+    _assert_race_free(monitor.finish())
 
 
 @settings(max_examples=15, deadline=None)
@@ -108,6 +121,8 @@ def test_tiny_callback_directory_never_deadlocks(entries, seed):
             yield Compute(5)
             yield from lock.release(ctx)
 
+    monitor = RaceMonitor(machine)
     machine.spawn([body] * threads)
     machine.run()  # raises DeadlockError on a lost wakeup
     assert machine.store.read(counter) == threads * 3
+    _assert_race_free(monitor.finish())

@@ -13,11 +13,12 @@ from repro.trace import (TraceEvent, TraceRecorder, concurrent_races,
 from repro.workloads.suite import get_workload
 
 
-def record_lock_run(label="CB-One", threads=4, stream=None):
+def record_lock_run(label="CB-One", threads=4, stream=None,
+                    lock_name="ttas"):
     cfg = config_for(label, num_cores=threads)
     machine = Machine(cfg)
     recorder = TraceRecorder(machine, stream=stream)
-    lock = make_lock("ttas", style_for(cfg))
+    lock = make_lock(lock_name, style_for(cfg))
     lock.setup(machine.layout, threads)
     for addr, value in lock.initial_values().items():
         machine.store.write(addr, value)
@@ -73,6 +74,72 @@ class TestRecorder:
             return machine.run().cycles
 
         assert run(True) == run(False)
+
+
+class TestAtomicHalves:
+    """Every Atomic is traced as the composite event plus two derived
+    zero-weight halves carrying the LdKind/StKind names."""
+
+    def test_halves_follow_each_composite(self):
+        from repro.trace.recorder import DERIVED_KINDS
+        events, _lock = record_lock_run()
+        for i, event in enumerate(events):
+            if event.kind != "atomic":
+                continue
+            ld, st = events[i + 1], events[i + 2]
+            assert ld.kind == "atomic.ld" and st.kind == "atomic.st"
+            assert ld.addr == event.addr and st.addr == event.addr
+            assert ld.time == event.time and st.time == event.time
+            assert ld.core == event.core and st.core == event.core
+            assert ld.weight == 0 and st.weight == 0
+            # detail mirrors the composite's [kind, ld, st, operands].
+            assert ld.detail == [event.detail[1]]
+            assert st.detail == [event.detail[2]]
+            assert not ld.is_racy and not st.is_racy
+            assert ld.kind in DERIVED_KINDS and st.kind in DERIVED_KINDS
+
+    def test_half_counts_match_composites(self):
+        events, _lock = record_lock_run()
+        kinds = op_mix(events)
+        assert kinds["atomic"] > 0
+        assert kinds["atomic.ld"] == kinds["atomic"]
+        assert kinds["atomic.st"] == kinds["atomic"]
+
+    def test_halves_surface_callback_kinds(self):
+        """Under CB-One the T&S guard/spin atomics carry their Table-1
+        annotation kinds in the derived events."""
+        events, _lock = record_lock_run(label="CB-One", lock_name="tas")
+        ld_kinds = {tuple(e.detail) for e in events
+                    if e.kind == "atomic.ld"}
+        st_kinds = {tuple(e.detail) for e in events
+                    if e.kind == "atomic.st"}
+        assert ("PLAIN",) in ld_kinds and ("CB",) in ld_kinds
+        assert ("CB0",) in st_kinds
+
+    def test_halves_roundtrip_jsonl(self):
+        stream = io.StringIO()
+        events, _lock = record_lock_run(stream=stream)
+        stream.seek(0)
+        loaded = load_trace(stream)
+        assert [e for e in loaded if e.kind.startswith("atomic.")] \
+            == [e for e in events if e.kind.startswith("atomic.")]
+
+    def test_replay_skips_halves(self):
+        from repro.trace.replay import replay_bodies
+        events, _lock = record_lock_run()
+        bodies = replay_bodies(events)
+        composites = sum(1 for e in events if e.kind == "atomic")
+        from repro.protocols import ops as op_mod
+
+        class _Ctx:
+            pass
+
+        replayed_atomics = 0
+        for body in bodies:
+            for op in body(_Ctx()):
+                if isinstance(op, op_mod.Atomic):
+                    replayed_atomics += 1
+        assert replayed_atomics == composites
 
 
 class TestAnalysis:
