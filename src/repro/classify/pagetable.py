@@ -55,6 +55,11 @@ class PageClassifier:
         """The owning core id, ``SHARED`` (-1), or None if untouched."""
         return self._owner.get(self._addr_map.page_of(addr))
 
+    def ckpt_state(self) -> Dict[str, object]:
+        """Classification table as canonical data (checkpoint capture)."""
+        return {"owner": dict(sorted(self._owner.items())),
+                "transitions": self.transitions_to_shared}
+
     def force_shared(self, addr: int) -> None:
         """Pre-classify a page as shared (used for synchronization vars)."""
         self._owner[self._addr_map.page_of(addr)] = self.SHARED

@@ -87,6 +87,20 @@ class Core:
             return
         self._dispatch(op)
 
+    def ckpt_state(self) -> dict:
+        """Execution position of this core's thread (checkpoint capture).
+
+        The generator itself cannot be serialized; what *can* be pinned
+        is every observable consequence of how far it has run — retired
+        ops, spin classification of the op in flight, and the lifecycle
+        cycles — which deterministic re-execution must reproduce
+        exactly."""
+        return {"done": self.done, "ops_retired": self.ops_retired,
+                "useful_ops": self.useful_ops,
+                "start_cycle": self.start_cycle,
+                "finish_cycle": self.finish_cycle,
+                "in_spin_op": self._in_spin_op}
+
     #: Cycles of computation per (bulk-accounted) L1 data access. An
     #: in-order core touches its L1 every few cycles while computing;
     #: without this baseline, spin-loop L1 accesses would be essentially

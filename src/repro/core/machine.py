@@ -62,6 +62,11 @@ class Machine:
         ]
         self._remaining = 0
         self._started = False
+        #: Cumulative engine events executed across run slices. A sliced
+        #: run (``run(checkpoint_every=...)``) and a restored-and-resumed
+        #: run both charge their slices against the same
+        #: ``config.max_events`` budget through this counter.
+        self.events_executed = 0
         #: The probe bus when telemetry is attached, else None.
         self.obs = None
         self.telemetry = telemetry
@@ -98,18 +103,80 @@ class Machine:
         timeout report's forward-progress signal)."""
         return {core.core_id: core.ops_retired for core in self._cores}
 
-    def run(self) -> Stats:
-        """Run to completion; raises :class:`DeadlockError` if threads
-        block forever (e.g. a lost wakeup), with a structured diagnosis
-        attached (per-core state, waiter tables, pending events)."""
-        if not self._started:
-            raise RuntimeError("spawn threads before running")
+    def ckpt_state(self) -> dict:
+        """Canonical capture of the whole machine (checkpoint contract,
+        :mod:`repro.ckpt.state`): engine clock + live event queue, word
+        store, stats, NoC occupancy, the protocol's full state (L1s,
+        directories, parked waiters), and per-core execution positions.
+
+        Deliberately excludes :attr:`events_executed` and anything a
+        daemon attachment (telemetry, watchdog, audits) could perturb, so
+        the capture is invariant under observers — the repo-wide
+        "observers never change results" contract, now checkable."""
+        return {
+            "engine": self.engine.ckpt_state(),
+            "store": self.store.ckpt_state(),
+            "stats": self.stats.ckpt_state(),
+            "network": self.network.ckpt_state(),
+            "protocol": self.protocol.ckpt_state(),
+            "cores": [core.ckpt_state() for core in self._cores],
+            "remaining": self._remaining,
+        }
+
+    def _run_engine(self, until: Optional[int] = None) -> int:
+        """Run one engine slice, charging the cumulative event budget.
+
+        ``config.max_events`` bounds the *total* events across every
+        slice of this machine's life (including re-execution after a
+        restore), so a sliced run times out at exactly the same point as
+        an unsliced one. A raised :class:`SimulationTimeout` reports
+        cumulative events and current per-core progress."""
+        budget = None
+        if self.config.max_events is not None:
+            budget = max(0, self.config.max_events - self.events_executed)
         try:
-            self.engine.run(max_events=self.config.max_events,
-                            max_cycles=self.config.max_cycles)
+            executed = self.engine.run(until=until, max_events=budget,
+                                       max_cycles=self.config.max_cycles)
         except SimulationTimeout as timeout:
+            timeout.events += self.events_executed
             timeout.progress = self.progress()
             raise
+        self.events_executed += executed
+        return executed
+
+    def fast_forward(self, cycle: int) -> int:
+        """Deterministically re-execute history up to (excluding) cycle
+        ``cycle`` — the restore path of a re-execution checkpoint: the
+        machine's state afterwards is exactly the state a checkpoint
+        taken at boundary ``cycle`` captured. Returns events executed."""
+        return self._run_engine(until=cycle - 1)
+
+    def run(self, checkpoint_every: int = 0,
+            on_checkpoint: Optional[Callable[[int], None]] = None) -> Stats:
+        """Run to completion; raises :class:`DeadlockError` if threads
+        block forever (e.g. a lost wakeup), with a structured diagnosis
+        attached (per-core state, waiter tables, pending events).
+
+        With ``checkpoint_every=N`` the run executes in slices, stopping
+        at every crossed multiple of ``N`` cycles and invoking
+        ``on_checkpoint(boundary)`` with all events before ``boundary``
+        executed and none at-or-after it — the cycle-boundary state a
+        checkpoint captures. Slicing never changes results: the engine
+        pops the same events in the same order either way."""
+        if not self._started:
+            raise RuntimeError("spawn threads before running")
+        if checkpoint_every:
+            while self.engine.live_pending > 0:
+                # Jump to the first boundary past both the clock and the
+                # next event, so dead time (a far-future wakeup) never
+                # spins through empty boundaries.
+                head = max(self.engine.now, self.engine.next_time())
+                boundary = (head // checkpoint_every + 1) * checkpoint_every
+                self._run_engine(until=boundary - 1)
+                if self.engine.live_pending > 0 and on_checkpoint is not None:
+                    on_checkpoint(boundary)
+        else:
+            self._run_engine()
         if self._remaining:
             from repro.resilience.watchdog import diagnose
             blocked = [c.core_id for c in self._cores

@@ -13,6 +13,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Any, Dict
 
 from repro.harness.runner import RunResult
+from repro.ioutil import atomic_write_json
 from repro.sim.stats import Stats
 
 
@@ -52,11 +53,14 @@ def stats_dict(stats: Stats) -> Dict[str, Any]:
 
 
 def save_result(data: Any, directory: str, name: str) -> str:
-    """Write one figure's structured result as ``DIR/name.json``."""
-    os.makedirs(directory, exist_ok=True)
+    """Write one figure's structured result as ``DIR/name.json``.
+
+    Crash-safe: the write is atomic (same-directory temp + fsync +
+    rename, :mod:`repro.ioutil`), so an interrupted ``--save-json``
+    leaves either the previous complete file or the new one — never a
+    truncated archive a later diff would trip over."""
     path = os.path.join(directory, f"{name}.json")
-    with open(path, "w") as handle:
-        json.dump(_jsonable(data), handle, indent=2, sort_keys=True)
+    atomic_write_json(path, _jsonable(data), indent=2)
     return path
 
 

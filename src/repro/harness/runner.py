@@ -79,7 +79,10 @@ class RunResult:
 def run_workload(config: SystemConfig, workload: Workload,
                  telemetry: TelemetryArg = None,
                  resilience: ResilienceArg = None,
-                 audit_every: int = 0) -> RunResult:
+                 audit_every: int = 0,
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_spec=None) -> RunResult:
     """Simulate ``workload`` on a machine built from ``config``.
 
     ``telemetry`` opts the run into observability: pass a
@@ -93,9 +96,39 @@ def run_workload(config: SystemConfig, workload: Workload,
     and periodic invariant auditing. ``audit_every=N`` is shorthand for
     just the auditing component (it merges into whatever ``resilience``
     object/config was passed). Both defaults leave the run untouched.
+
+    ``checkpoint_every=N`` with ``checkpoint_dir=`` makes the run
+    durable (:mod:`repro.ckpt`): it saves a verified checkpoint into
+    the store every N cycles, resumes from the newest valid one if a
+    previous attempt left any behind, and persists a black-box payload
+    should the run die of a deadlock/livelock/timeout.
+    ``checkpoint_spec`` (a :class:`~repro.orchestrate.jobspec.JobSpec`)
+    is then required — it is the checkpoint's *replay recipe* and must
+    describe exactly the run being performed (same config, workload,
+    and seed), or restores will fail verification by construction.
     """
     telemetry = _as_telemetry(telemetry)
     resilience = _as_resilience(resilience, audit_every)
+    if checkpoint_every and checkpoint_dir:
+        from repro.ckpt import Checkpointer, CheckpointStore
+        if checkpoint_spec is None:
+            raise ValueError(
+                "checkpointed runs need checkpoint_spec= (the JobSpec "
+                "replay recipe that rebuilds this exact run)")
+        plan = resilience.config.plan if resilience is not None else None
+        checkpointer = Checkpointer(
+            checkpoint_spec, CheckpointStore(checkpoint_dir),
+            every=checkpoint_every, plan=plan, telemetry=telemetry,
+            resilience=resilience, workload=workload)
+        stats = checkpointer.run()
+        return RunResult(
+            workload=workload.name,
+            config_label=config.label(),
+            stats=stats,
+            energy=energy_of(stats),
+            telemetry=telemetry,
+            resilience=resilience,
+        )
     machine = Machine(config, telemetry=telemetry, resilience=resilience)
     workload.install(machine)
     stats = machine.run()
@@ -112,8 +145,14 @@ def run_workload(config: SystemConfig, workload: Workload,
 def run_config(name: str, workload: Workload,
                telemetry: TelemetryArg = None,
                resilience: ResilienceArg = None,
-               audit_every: int = 0, **overrides) -> RunResult:
+               audit_every: int = 0,
+               checkpoint_every: int = 0,
+               checkpoint_dir: Optional[str] = None,
+               checkpoint_spec=None, **overrides) -> RunResult:
     """Run under a paper configuration label ("Invalidation", ...)."""
     return run_workload(config_for(name, **overrides), workload,
                         telemetry=telemetry, resilience=resilience,
-                        audit_every=audit_every)
+                        audit_every=audit_every,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_spec=checkpoint_spec)

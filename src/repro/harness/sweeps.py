@@ -98,6 +98,8 @@ class Sweep:
             telemetry: Optional[TelemetryConfig] = None,
             telemetry_dir: Optional[str] = None,
             audit_every: int = 0,
+            checkpoint_every: int = 0,
+            checkpoint_dir: Optional[str] = None,
             **base_overrides: Any) -> List[Dict[str, Any]]:
         """Execute the sweep; returns one row dict per (config, point).
 
@@ -120,6 +122,13 @@ class Sweep:
         :class:`~repro.validation.checker.InvariantViolation` fails that
         grid point's run). Auditors live in the simulating process, so
         audited sweeps are serial-only too.
+
+        ``checkpoint_every=N`` with ``checkpoint_dir=`` makes every grid
+        point durable (:mod:`repro.ckpt`): points checkpoint as they
+        simulate, and an interrupted sweep resumes each point from its
+        newest valid checkpoint. Checkpoints need each point's
+        declarative replay recipe, so this routes through the
+        orchestrator and requires ``workload_spec=``.
         """
         plan = []   # (point, config_overrides, workload_params, label)
         for point in self.grid():
@@ -132,20 +141,25 @@ class Sweep:
                              label))
 
         seed_overrides = {} if seed is None else {"seed": seed}
-        if telemetry is not None and telemetry.enabled and (
-                jobs > 1 or cache_dir is not None):
+        checkpointing = bool(checkpoint_every and checkpoint_dir)
+        orchestrated = jobs > 1 or cache_dir is not None or checkpointing
+        if telemetry is not None and telemetry.enabled and orchestrated:
             raise ValueError(
                 "telemetry= sweeps are serial-only: collectors live in "
-                "the simulating process, so drop jobs=/cache_dir=")
-        if audit_every and (jobs > 1 or cache_dir is not None):
+                "the simulating process, so drop jobs=/cache_dir=/"
+                "checkpoint_dir=")
+        if audit_every and orchestrated:
             raise ValueError(
                 "audit_every= sweeps are serial-only: auditors live in "
-                "the simulating process, so drop jobs=/cache_dir=")
-        if jobs > 1 or cache_dir is not None:
+                "the simulating process, so drop jobs=/cache_dir=/"
+                "checkpoint_dir=")
+        if orchestrated:
             if self.workload_spec is None:
                 raise ValueError(
-                    "parallel/cached sweeps need workload_spec= — "
-                    "factory closures cannot cross process boundaries")
+                    "parallel/cached/checkpointed sweeps need "
+                    "workload_spec= — factory closures cannot cross "
+                    "process boundaries (and checkpoints need a "
+                    "declarative replay recipe)")
             from repro.orchestrate import JobSpec, run_batch
             specs = [
                 JobSpec(config_label=label, workload=self.workload_spec,
@@ -157,7 +171,9 @@ class Sweep:
                 for (point, config_overrides, workload_params, label)
                 in plan
             ]
-            batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+            batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir,
+                              checkpoint_dir=checkpoint_dir,
+                              checkpoint_every=checkpoint_every)
             results = [job.result() for job in batch.results]
         else:
             results = []

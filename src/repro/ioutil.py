@@ -1,0 +1,164 @@
+"""Crash-safe file IO shared by every on-disk artifact writer.
+
+Results (:mod:`repro.harness.results_io`), the orchestration cache
+(:mod:`repro.orchestrate.cache`) and the checkpoint store
+(:mod:`repro.ckpt.store`) all follow the same discipline:
+
+* **atomic publication** — write to a temp file in the destination
+  directory, ``fsync`` it, then ``os.replace`` onto the final name.
+  A reader (or a crash at any instant) sees either the old complete
+  file or the new complete file, never a torn write;
+* **durable directories** — after the rename, ``fsync`` the directory
+  so the new name itself survives a power cut;
+* **self-verifying payloads** — JSON artifacts embed a SHA-256 over
+  their canonical form, checked on read. A corrupt artifact is
+  *quarantined* (renamed ``<name>.corrupt``) rather than deleted, so
+  the damaged bytes stay available for post-mortems while every normal
+  code path treats the entry as absent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+__all__ = [
+    "canonical_json", "sha256_of", "atomic_write_text",
+    "atomic_write_json", "fsync_dir", "quarantine", "read_checked_json",
+    "CorruptArtifactError",
+]
+
+
+class CorruptArtifactError(ValueError):
+    """An on-disk artifact failed parsing or checksum verification.
+
+    Carries the ``path`` of the damaged file and, after
+    :func:`quarantine`, ``quarantined`` — where the bytes were moved.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+        self.quarantined: Optional[str] = None
+
+
+def canonical_json(value: Any) -> str:
+    """The one serialized form all content hashes are taken over.
+
+    Stable under a JSON round-trip: non-string dict keys are first
+    coerced to the strings JSON stores (and re-sorted lexically, the
+    way a re-read dict sorts), so a value checksummed before
+    serialization and the same value parsed back from disk produce the
+    same digest. Without the round-trip, int keys sort numerically at
+    write time ({2: ..., 10: ...}) but lexically after re-reading
+    ("10" < "2"), and the digests diverge.
+    """
+    encoded = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return json.dumps(json.loads(encoded), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def sha256_of(value: Any) -> str:
+    """SHA-256 hex digest of a JSON-able value's canonical form."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def fsync_dir(path: str) -> None:
+    """Flush a directory entry table (makes renames/creates durable).
+
+    Best-effort: some filesystems refuse ``open(O_RDONLY)`` on
+    directories; crash-safety degrades gracefully to rename atomicity.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, durable: bool = True) -> None:
+    """Publish ``text`` at ``path`` atomically (temp + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=f".{os.path.basename(path)}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(directory)
+
+
+def atomic_write_json(path: str, value: Any, durable: bool = True,
+                      indent: Optional[int] = None) -> None:
+    """Atomically publish a JSON document at ``path``."""
+    if indent is None:
+        text = canonical_json(value)
+    else:
+        text = json.dumps(value, sort_keys=True, indent=indent)
+    atomic_write_text(path, text + "\n", durable=durable)
+
+
+def quarantine(error: CorruptArtifactError) -> Optional[str]:
+    """Move a corrupt artifact aside as ``<path>.corrupt``.
+
+    Returns the quarantine path (also recorded on the error), or None
+    if the file vanished or could not be moved. Never raises.
+    """
+    target = error.path + ".corrupt"
+    try:
+        os.replace(error.path, target)
+    except OSError:
+        return None
+    error.quarantined = target
+    return target
+
+
+def read_checked_json(path: str, checksum_field: Optional[str] = None) -> Any:
+    """Read a JSON artifact, raising :class:`CorruptArtifactError` on a
+    parse failure — and, when ``checksum_field`` is given, on a missing
+    or mismatched embedded SHA-256.
+
+    With ``checksum_field``, the file must hold an object whose
+    ``checksum_field`` entry is ``sha256_of`` the object *without* that
+    entry; the returned dict has the checksum already stripped.
+    """
+    try:
+        with open(path) as handle:
+            value = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorruptArtifactError(path, f"unreadable JSON ({exc})") from exc
+    if checksum_field is None:
+        return value
+    if not isinstance(value, dict):
+        raise CorruptArtifactError(path, "expected a JSON object")
+    body = dict(value)
+    stated = body.pop(checksum_field, None)
+    if stated is None:
+        raise CorruptArtifactError(path, f"missing {checksum_field!r}")
+    actual = sha256_of(body)
+    if stated != actual:
+        raise CorruptArtifactError(
+            path, f"checksum mismatch (stated {str(stated)[:12]}…, "
+                  f"actual {actual[:12]}…)")
+    return body

@@ -134,6 +134,25 @@ class SetAssociativeCache:
     def lines(self) -> List[int]:
         return [entry.line for entry in self]
 
+    def ckpt_state(self, payload_state: Callable[[Any], Any]) -> List[list]:
+        """Per-set resident lines in replacement order (oldest first),
+        each as ``[line, payload_state(payload)]`` — the tag-array half
+        of a checkpoint fingerprint. Replacement order is part of the
+        state: it decides future victims, so two caches that differ only
+        in recency are *not* interchangeable. ``random``-policy caches
+        additionally pin their RNG stream."""
+        state: List[list] = [
+            [[entry.line, payload_state(entry.payload)]
+             for entry in bucket.values()]
+            for bucket in self._sets
+        ]
+        if self._rng is not None:
+            import hashlib
+            digest = hashlib.sha256(
+                repr(self._rng.getstate()).encode()).hexdigest()
+            return [state, digest[:16]]
+        return [state]
+
     def evict_matching(
         self, predicate: Callable[[CacheLine], bool]
     ) -> List[CacheLine]:

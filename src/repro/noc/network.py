@@ -122,6 +122,20 @@ class Network:
                                  daemon=True)
         return latency
 
+    def ckpt_state(self) -> dict:
+        """Link occupancy as canonical data (checkpoint capture).
+
+        Only links still busy at or after ``now`` matter — already-idle
+        entries can never influence a future send — so stale rows are
+        dropped, making the capture identical whether a dict entry was
+        left behind or never created. The in-flight flit gauge is a
+        telemetry artifact and deliberately excluded."""
+        now = self.engine.now
+        busy = {f"{src}>{dst}": until
+                for (src, dst), until in sorted(self._link_busy.items())
+                if until >= now}
+        return {"link_busy": busy}
+
     def round_trip(self, a: int, b: int, req: MsgKind, resp: MsgKind) -> int:
         """Latency of a request/response pair without scheduling anything."""
         return self.message_latency(a, b, req) + self.message_latency(b, a, resp)

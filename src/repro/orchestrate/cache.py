@@ -7,19 +7,44 @@ multi-thousand-job sweeps). Each file is one self-describing record
 archive: any record can be traced back to the exact spec that produced
 it, and two checkouts can be diffed mechanically.
 
-Writes go through a same-directory temp file + :func:`os.replace`, so a
-killed run never leaves a truncated record behind — a half-written job
-simply re-runs on resume.
+Crash safety and integrity (:mod:`repro.ioutil`):
+
+* writes are atomic and durable — same-directory temp file, ``fsync``,
+  then :func:`os.replace` — so a killed run never publishes a torn
+  record;
+* every record is stored with an ``integrity`` field, a SHA-256 over
+  the record's canonical form, verified (and stripped) on read, so a
+  record handed back from the cache is byte-equivalent to one freshly
+  computed;
+* a record that fails parsing or its checksum is **quarantined** —
+  renamed ``<key>.json.corrupt`` for post-mortems — and treated as a
+  miss, so the damaged job simply re-runs. Records from before the
+  integrity field existed verify on their embedded spec alone.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.ioutil import (CorruptArtifactError, atomic_write_json,
+                          quarantine, read_checked_json, sha256_of)
 from repro.orchestrate.jobspec import JobSpec
+
+
+def _verify_record(path: str) -> Dict[str, Any]:
+    """Load + integrity-check one record file; the returned record has
+    the ``integrity`` field already stripped (it is storage metadata,
+    not part of the result — cached and fresh records compare equal).
+    Raises :class:`CorruptArtifactError` on damage."""
+    record = read_checked_json(path)
+    if not isinstance(record, dict):
+        raise CorruptArtifactError(path, "expected a JSON object")
+    stated = record.pop("integrity", None)
+    if stated is not None and stated != sha256_of(record):
+        raise CorruptArtifactError(
+            path, f"integrity mismatch (stated {str(stated)[:12]}…)")
+    return record
 
 
 class ResultCache:
@@ -35,32 +60,30 @@ class ResultCache:
     def get(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
         """The cached record for ``spec``, or None on miss.
 
-        A record that fails to parse, or whose embedded spec does not
-        match (hash collision or hand-edited file), counts as a miss.
+        A record that fails to parse or fails its integrity checksum is
+        quarantined (``*.corrupt``) and counts as a miss; one whose
+        embedded spec does not match (hash collision or hand-edited
+        file) counts as a miss without quarantine.
         """
         path = self.path_for(spec.job_key())
+        if not os.path.exists(path):
+            return None
         try:
-            with open(path) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+            record = _verify_record(path)
+        except CorruptArtifactError as exc:
+            quarantine(exc)
             return None
         if record.get("spec") != spec.to_dict():
             return None
         return record
 
     def put(self, spec: JobSpec, record: Dict[str, Any]) -> str:
-        """Atomically persist ``record`` under ``spec``'s key."""
+        """Atomically and durably persist ``record`` under ``spec``'s
+        key, stamped with its integrity checksum."""
         path = self.path_for(spec.job_key())
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, indent=2, sort_keys=True)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+        body = {k: v for k, v in record.items() if k != "integrity"}
+        atomic_write_json(path, {**body, "integrity": sha256_of(body)},
+                          indent=2)
         return path
 
     def contains(self, spec: JobSpec) -> bool:
@@ -81,9 +104,8 @@ class ResultCache:
     def records(self) -> Iterator[Dict[str, Any]]:
         for key in self.keys():
             try:
-                with open(self.path_for(key)) as handle:
-                    yield json.load(handle)
-            except (OSError, ValueError):
+                yield _verify_record(self.path_for(key))
+            except CorruptArtifactError:
                 continue
 
     def __len__(self) -> int:

@@ -113,6 +113,8 @@ def _execute(specs: List[JobSpec], args: argparse.Namespace) -> int:
     orchestrator = Orchestrator(jobs=args.jobs, cache=args.cache_dir,
                                 timeout=args.timeout, retries=args.retries,
                                 quarantine_after=args.quarantine_after,
+                                checkpoint_dir=args.checkpoint_dir,
+                                checkpoint_every=args.checkpoint_every,
                                 verbose=args.verbose)
     try:
         batch = orchestrator.run(specs)
@@ -221,6 +223,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quarantine-after", type=int, default=3,
                         help="deterministic failures per workload+config "
                              "family before its jobs are refused (0 = off)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="checkpoint store root; jobs checkpoint as "
+                             "they run and retries resume (repro-ckpt "
+                             "reads the same store)")
+    parser.add_argument("--checkpoint-every", type=int, default=2000,
+                        help="checkpoint period in cycles (needs "
+                             "--checkpoint-dir)")
     parser.add_argument("--json", default=None,
                         help="write the batch's records to this file")
     parser.add_argument("--failures-out", default=None,

@@ -15,6 +15,7 @@ there is one). The log is the orchestrator's observability surface:
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -26,6 +27,11 @@ from typing import Any, Dict, List, Optional
 #: so logs can be summarized by *why* jobs failed, not just how many.
 KINDS = ("queued", "cache_hit", "started", "finished", "retried",
          "timeout", "failed", "quarantined")
+
+#: Failure-kind events are flushed *and fsynced* the moment they are
+#: recorded: they are exactly the lines a post-mortem needs after the
+#: process (or machine) dies, so they may never sit in a buffer.
+_DURABLE_KINDS = frozenset({"failed", "timeout", "quarantined"})
 
 
 @dataclass
@@ -84,6 +90,14 @@ class EventLog:
         if self._sink is not None:
             self._sink.write(json.dumps(event.as_dict(),
                                         sort_keys=True) + "\n")
+            if kind in _DURABLE_KINDS:
+                # Failure evidence must survive the crash it documents:
+                # push it through the OS to the disk before moving on.
+                self._sink.flush()
+                try:
+                    os.fsync(self._sink.fileno())
+                except OSError:  # pragma: no cover - exotic sinks
+                    pass
         if self.bus is not None:
             self.bus.emit(f"orchestrate.{kind}", _cycle=0, job_key=job_key,
                           label=label, **detail)

@@ -79,12 +79,38 @@ def _is_fatal(exc: BaseException) -> bool:
 
 def execute_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
     """Run one JobSpec (as a dict) to its record. Top-level and
-    picklable: this is what pool workers import and call."""
-    spec = JobSpec.from_dict(spec_dict)
+    picklable: this is what pool workers import and call.
+
+    A ``"_checkpoint"`` entry (injected by the scheduler, never part of
+    the spec's content address) makes the run durable: the job
+    checkpoints into the given store every ``every`` cycles and, when
+    the store already holds a valid checkpoint for this job key (a
+    previous attempt crashed or timed out), resumes from it instead of
+    scratch — the record's meta then carries ``resumed_from``."""
+    payload = dict(spec_dict)
+    ckpt_cfg = payload.pop("_checkpoint", None)
+    spec = JobSpec.from_dict(payload)
     config = config_for(spec.config_label, seed=spec.seed,
                         **spec.config_overrides)
     workload = build_workload(spec.workload, spec.workload_params)
     t0 = time.perf_counter()
+    if ckpt_cfg:
+        from repro.ckpt import Checkpointer, CheckpointStore
+        from repro.energy.model import energy_of
+        from repro.harness.runner import RunResult
+        checkpointer = Checkpointer(
+            spec, CheckpointStore(ckpt_cfg["dir"]),
+            every=int(ckpt_cfg.get("every", 2000)),
+            ring=int(ckpt_cfg.get("ring", 8)),
+            workload=workload)
+        stats = checkpointer.run(resume=bool(ckpt_cfg.get("resume", True)))
+        result = RunResult(workload=workload.name,
+                           config_label=config.label(), stats=stats,
+                           energy=energy_of(stats))
+        record = record_of(spec, result, wall_s=time.perf_counter() - t0)
+        if checkpointer.resumed_from is not None:
+            record["meta"]["resumed_from"] = checkpointer.resumed_from
+        return record
     result = run_workload(config, workload)
     return record_of(spec, result, wall_s=time.perf_counter() - t0)
 
@@ -102,6 +128,9 @@ class JobResult:
     #: Failure class (``invariant``/``liveness``/``timeout``/``crash``/
     #: ``error``/``quarantined``), or ``"ok"`` for successful jobs.
     kind: str = "ok"
+    #: Checkpoint boundary the successful attempt resumed from, or None
+    #: (fresh run / checkpointing off).
+    resumed_from: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -188,19 +217,31 @@ class Orchestrator:
                  events: Optional[EventLog] = None,
                  run_fn: Optional[RunFn] = None,
                  verbose: bool = False,
-                 quarantine_after: int = 3) -> None:
+                 quarantine_after: int = 3,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 0,
+                 checkpoint_ring: int = 8) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if quarantine_after < 0:
             raise ValueError("quarantine_after must be >= 0 (0 = off)")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 = off)")
         self.jobs = jobs
         self.cache = ResultCache(cache) if isinstance(cache, str) else cache
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
         self.quarantine_after = quarantine_after
+        #: With both set, every job checkpoints into this store as it
+        #: runs, and a retried attempt (after a worker crash, broken
+        #: pool, or wall-clock timeout) *resumes* from the newest valid
+        #: checkpoint instead of scratch.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_ring = checkpoint_ring
         #: Deterministic failures per job family (workload, config).
         self._family_failures: Counter = Counter()
         self.run_fn: RunFn = run_fn or execute_job
@@ -244,6 +285,25 @@ class Orchestrator:
         self.events.flush()
         return BatchResult(results=results, events=self.events,
                            wall_s=time.perf_counter() - t0)
+
+    # ------------------------------------------------------- checkpoints
+
+    @property
+    def _checkpointing(self) -> bool:
+        return bool(self.checkpoint_dir) and self.checkpoint_every > 0
+
+    def _payload(self, spec: JobSpec) -> Dict[str, Any]:
+        """The run_fn argument: the spec dict, plus (out-of-band, never
+        hashed into the job key) the checkpoint routing config."""
+        payload = spec.to_dict()
+        if self._checkpointing:
+            payload["_checkpoint"] = {
+                "dir": self.checkpoint_dir,
+                "every": self.checkpoint_every,
+                "ring": self.checkpoint_ring,
+                "resume": True,
+            }
+        return payload
 
     # -------------------------------------------------------- quarantine
 
@@ -290,7 +350,7 @@ class Orchestrator:
                                    attempt=attempt)
                 t0 = time.perf_counter()
                 try:
-                    record = self.run_fn(spec.to_dict())
+                    record = self.run_fn(self._payload(spec))
                 except Exception as exc:  # noqa: BLE001 — job isolation
                     kind = classify_failure(exc)
                     retryable = (not _is_fatal(exc)
@@ -344,7 +404,8 @@ class Orchestrator:
                     key = spec.job_key()
                     self.events.record("started", key, spec.describe(),
                                        attempt=attempt)
-                    future = executor.submit(self.run_fn, spec.to_dict())
+                    future = executor.submit(self.run_fn,
+                                             self._payload(spec))
                     deadline = (now + self.timeout
                                 if self.timeout is not None else None)
                     inflight[future] = (spec, attempt, deadline)
@@ -389,13 +450,25 @@ class Orchestrator:
                     executor.shutdown(wait=False, cancel_futures=True)
                     executor = ProcessPoolExecutor(max_workers=self.jobs)
                     continue
-                # Reap jobs past their deadline.
+                # Reap jobs past their deadline. Without checkpointing a
+                # wall-clock timeout is terminal (the simulator is
+                # deterministic — a rerun from scratch would time out at
+                # the same point); with it, the attempt left durable
+                # checkpoints behind, so a retry *resumes* past where
+                # this attempt got and is genuine forward progress.
                 now = time.monotonic()
                 for future in [f for f, (_, _, dl) in inflight.items()
                                if dl is not None and now > dl]:
                     spec, attempt, _ = inflight.pop(future)
                     future.cancel()
                     key = spec.job_key()
+                    if self._checkpointing:
+                        self._retry_or_fail(
+                            spec, attempt,
+                            f"exceeded {self.timeout}s "
+                            f"(next attempt resumes from checkpoint)",
+                            pending, outcomes, kind="timeout")
+                        continue
                     self.events.record("timeout", key, spec.describe(),
                                        failure_kind="timeout",
                                        timeout_s=self.timeout)
@@ -411,14 +484,18 @@ class Orchestrator:
     def _finish(self, spec: JobSpec, record: Dict[str, Any], attempt: int,
                 outcomes: Dict[str, JobResult]) -> None:
         key = spec.job_key()
+        resumed_from = record.get("meta", {}).get("resumed_from")
         self.events.record(
             "finished", key, spec.describe(), attempt=attempt,
             cycles=record.get("result", {}).get("cycles", 0),
-            wall_s=record.get("meta", {}).get("wall_s", 0.0))
+            wall_s=record.get("meta", {}).get("wall_s", 0.0),
+            **({"resumed_from": resumed_from}
+               if resumed_from is not None else {}))
         if self.cache is not None:
             self.cache.put(spec, record)
         outcomes[key] = JobResult(spec, "finished", record,
-                                  attempts=attempt)
+                                  attempts=attempt,
+                                  resumed_from=resumed_from)
 
     def _retry_or_fail(self, spec: JobSpec, attempt: int, error: str,
                        pending: List[_Pending],

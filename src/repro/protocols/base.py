@@ -190,6 +190,24 @@ class CoherenceProtocol:
         protocol has no parking mechanism."""
         return 0
 
+    def ckpt_state(self) -> Dict[str, object]:
+        """Canonical capture of the memory-system state below the cores
+        (the snapshottability contract, :mod:`repro.ckpt.state`).
+
+        Subclasses MUST call ``super().ckpt_state()`` and extend the
+        dict with every piece of mutable protocol state — L1 contents,
+        directory records, parked-waiter tables — so that two machines
+        with equal captures behave identically from here on. Bank port
+        occupancy is trimmed to ports still busy now-or-later, mirroring
+        :meth:`~repro.noc.network.Network.ckpt_state`."""
+        now = self.engine.now
+        return {
+            "kind": type(self).__name__,
+            "banks": [max(port.busy_until, now) for port in self.banks],
+            "llc_present": sorted(self._llc_present),
+            "classifier": self.classifier.ckpt_state(),
+        }
+
     def resolve_later(self, future: Future, delay: int, value=None) -> None:
         """Resolve ``future`` after ``delay`` cycles (always via the engine,
         so completions never recurse into the core synchronously)."""

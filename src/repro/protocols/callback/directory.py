@@ -150,3 +150,13 @@ class CallbackDirectory:
 
     def resident_words(self) -> List[int]:
         return self._cache.lines()
+
+    def ckpt_state(self) -> dict:
+        """Resident entries (replacement order preserved) plus a digest
+        of the wake-policy RNG stream (checkpoint capture)."""
+        import hashlib
+        rng = hashlib.sha256(repr(self._rng.getstate()).encode()).hexdigest()
+        return {"bank": self.bank,
+                "entries": self._cache.ckpt_state(
+                    lambda entry: entry.ckpt_state()),
+                "rng": rng[:16]}

@@ -153,6 +153,19 @@ class CBEntry:
                 return candidate
         raise RuntimeError("no callback set")  # pragma: no cover
 
+    # ----------------------------------------------------------- checkpoint
+
+    def ckpt_state(self) -> Dict[str, object]:
+        """F/E + CB vectors, A/O mode, round-robin pointer, and the
+        parked waiters (checkpoint capture). Waiter ``wake`` closures are
+        opaque; their observable identity is (core, since, word), which
+        deterministic re-execution reproduces exactly."""
+        return {"word": self.word, "fe": self.fe, "cb": self.cb,
+                "mode_all": self.mode_all, "rr_ptr": self.rr_ptr,
+                "arrival": list(self.arrival),
+                "waiters": [[w.core, w.since, w.word]
+                            for _c, w in sorted(self.waiters.items())]}
+
     # ------------------------------------------------------------- eviction
 
     def evict(self) -> List[Waiter]:

@@ -44,6 +44,13 @@ class CallbackProtocol(VIPSProtocol):
             for bank in range(self.config.num_banks)
         ]
 
+    def ckpt_state(self) -> dict:
+        """VIPS capture + the per-bank callback directories (F/E, CB and
+        A/O bits, parked waiters, wake-policy RNG digest)."""
+        state = super().ckpt_state()
+        state["cb_dirs"] = [d.ckpt_state() for d in self.cb_dirs]
+        return state
+
     # ------------------------------------------------------------- waiters
 
     def _wake_with_value(self, bank: int, waiter: Waiter, word: int) -> None:

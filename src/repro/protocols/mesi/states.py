@@ -45,6 +45,11 @@ class L1Line:
     def write_word(self, word_addr: int, value: int) -> None:
         self.snapshot[word_addr] = value
 
+    def ckpt_state(self) -> Dict[str, object]:
+        """MESI state + fill-time value snapshot (checkpoint capture)."""
+        return {"state": self.state.value,
+                "snapshot": dict(sorted(self.snapshot.items()))}
+
 
 class DirEntry:
     """Directory record for one line at its home LLC bank."""
@@ -64,3 +69,11 @@ class DirEntry:
         if self.sharers:
             return "S"
         return "I"
+
+    def ckpt_state(self) -> Dict[str, object]:
+        """Owner/sharers/serialization point (checkpoint capture). The
+        deferred-request thunks are closures; their *count* is state
+        (how many transactions are queued behind the busy line), their
+        identity is pinned by the engine's live-event digest."""
+        return {"owner": self.owner, "sharers": sorted(self.sharers),
+                "busy": self.busy, "queued": len(self.queue)}

@@ -44,6 +44,10 @@ class VIPSLine:
         self.shared = shared
         self.dirty_words: set = set()
 
+    def ckpt_state(self) -> dict:
+        """Classification + dirty-word mask (checkpoint capture)."""
+        return {"shared": self.shared, "dirty": sorted(self.dirty_words)}
+
 
 class VIPSProtocol(CoherenceProtocol):
     """Self-invalidation + self-downgrade, LLC spinning with back-off."""
@@ -58,6 +62,18 @@ class VIPSProtocol(CoherenceProtocol):
         ]
         # Per-word atomic serialization at the home bank (LLC MSHR lock).
         self._mshr_locked: Dict[int, WaitQueue] = {}
+
+    def ckpt_state(self) -> Dict[str, object]:
+        """Base capture + L1 arrays and held MSHR locks (checkpoint
+        snapshottability contract)."""
+        state = super().ckpt_state()
+        state["l1"] = [cache.ckpt_state(lambda line: line.ckpt_state())
+                       for cache in self.l1]
+        # Key presence == lock held (even with an empty wait queue), so
+        # every entry is captured; the value is the contention depth.
+        state["mshr"] = {word: len(queue)
+                         for word, queue in sorted(self._mshr_locked.items())}
+        return state
 
     # --------------------------------------------------------- DRF data ops
 

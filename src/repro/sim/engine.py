@@ -87,6 +87,23 @@ def _rebuild_timeout(message: str, reason: str, cycle: int, events: int,
                              events=events, progress=progress)
 
 
+def _callback_name(callback: Callable[[], None]) -> str:
+    """A stable, process-independent label for a queued callback.
+
+    Qualified names identify the code the event will run (e.g.
+    ``Core.start.<locals>.<lambda>``) without depending on object ids,
+    so two processes that replayed the same history produce the same
+    label sequence.
+    """
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return qualname
+    func = getattr(callback, "func", None)  # functools.partial
+    if func is not None:
+        return f"partial:{_callback_name(func)}"
+    return type(callback).__name__
+
+
 class Engine:
     """A minimal deterministic discrete-event scheduler.
 
@@ -136,6 +153,27 @@ class Engine:
     def pending(self) -> int:
         """Number of events still queued (daemon events included)."""
         return len(self._queue)
+
+    def next_time(self) -> Optional[int]:
+        """Cycle of the earliest queued event (daemon or live), or None."""
+        return self._queue[0][0] if self._queue else None
+
+    def ckpt_state(self) -> Dict[str, Any]:
+        """Deterministic view of the scheduler state for checkpoint
+        fingerprints (see :mod:`repro.ckpt.state`).
+
+        Only *live* events are listed: daemon observers (telemetry ticks,
+        watchdog checks, audit timers) may or may not be attached on a
+        restore, and the repo-wide contract is that they never change
+        results. Events are listed in execution order — ``(time, seq)``
+        — but the raw sequence numbers are omitted, because interleaved
+        daemon scheduling shifts them without changing the order of the
+        live events themselves.
+        """
+        live = [(time, _callback_name(callback))
+                for time, _seq, callback, daemon in sorted(self._queue)
+                if not daemon]
+        return {"now": self.now, "live_pending": self._live, "queue": live}
 
     @property
     def live_pending(self) -> int:

@@ -20,7 +20,7 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -188,6 +188,27 @@ class Stats:
     def counters(self) -> Dict[str, int]:
         """Every plain int counter as a dict (drives the obs sampler)."""
         return {name: getattr(self, name) for name in int_field_names()}
+
+    def ckpt_state(self) -> Dict[str, Any]:
+        """Every counter, message-kind count, and episode sample, as
+        canonical JSON-able data — the statistics half of a checkpoint
+        fingerprint (:mod:`repro.ckpt.state`). Two runs with equal
+        ``ckpt_state`` report identical numbers everywhere.
+
+        ``cycles`` is excluded: it is derived state, assigned from the
+        engine clock only when a run *completes*, so a mid-run capture
+        and a restored machine would disagree on it spuriously — the
+        clock itself is captured in the engine's state."""
+        counters = self.counters()
+        counters.pop("cycles", None)
+        return {
+            "counters": counters,
+            "msg_kinds": dict(sorted(self.msg_kinds.items())),
+            "episodes": {category: list(samples) for category, samples
+                         in sorted(self.episode_latencies.items())},
+            "owners": {category: list(owners) for category, owners
+                       in sorted(self.episode_owners.items())},
+        }
 
 
 def _percentile_sorted(samples: Sequence[int], pct: float) -> float:
