@@ -48,11 +48,23 @@ def _verify_record(path: str) -> Dict[str, Any]:
 
 
 class ResultCache:
-    """A directory of finished-job records, keyed by spec content hash."""
+    """A directory of finished-job records, keyed by spec content hash.
+
+    Every lookup updates :attr:`counters` (``hit`` / ``miss`` /
+    ``quarantined`` / ``put``), the cache's dedup-observability surface:
+    the scheduler emits them as a ``cache_stats`` event at the end of
+    each batch, ``repro-orchestrate inspect`` reports them after a
+    scan, and the ``repro-serve`` status endpoint exposes them live —
+    under multi-tenant load they are the direct measure of how many
+    submissions collapsed onto one simulation.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        #: Lifetime lookup counters for *this* cache handle.
+        self.counters: Dict[str, int] = {
+            "hit": 0, "miss": 0, "quarantined": 0, "put": 0}
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
@@ -67,14 +79,19 @@ class ResultCache:
         """
         path = self.path_for(spec.job_key())
         if not os.path.exists(path):
+            self.counters["miss"] += 1
             return None
         try:
             record = _verify_record(path)
         except CorruptArtifactError as exc:
             quarantine(exc)
+            self.counters["quarantined"] += 1
+            self.counters["miss"] += 1
             return None
         if record.get("spec") != spec.to_dict():
+            self.counters["miss"] += 1
             return None
+        self.counters["hit"] += 1
         return record
 
     def put(self, spec: JobSpec, record: Dict[str, Any]) -> str:
@@ -84,6 +101,7 @@ class ResultCache:
         body = {k: v for k, v in record.items() if k != "integrity"}
         atomic_write_json(path, {**body, "integrity": sha256_of(body)},
                           indent=2)
+        self.counters["put"] += 1
         return path
 
     def contains(self, spec: JobSpec) -> bool:

@@ -35,9 +35,12 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.config import PAPER_CONFIGS
 
 from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.events import read_events
 from repro.orchestrate.jobspec import JobSpec
 from repro.orchestrate.scheduler import BatchResult, Orchestrator
 from repro.orchestrate.registry import workload_spec_names
+from repro.orchestrate.status import (batch_status, cache_status,
+                                      failure_histogram)
 
 #: Maps a CLI spec's ``name:detail`` shorthand to the param it sets.
 _DETAIL_PARAM = {"app": "name", "lock": "lock_name", "barrier":
@@ -164,27 +167,43 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _summarize_failures(cache_dir: str) -> None:
-    """Failure-class histogram from the cache dir's events.jsonl."""
+    """Failure-class histogram from the cache dir's events.jsonl
+    (torn-tail tolerant: the log may still be mid-append)."""
     path = os.path.join(cache_dir, "events.jsonl")
     if not os.path.exists(path):
         return
-    counts: Dict[str, int] = {}
-    with open(path) as handle:
-        for line in handle:
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if event.get("kind") in ("failed", "timeout", "quarantined"):
-                failure = event.get("failure_kind", "error")
-                counts[failure] = counts.get(failure, 0) + 1
+    counts = failure_histogram(read_events(path))
     if counts:
         what = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
         print(f"failure classes (events.jsonl): {what}")
 
 
+def _counters_line(cache: ResultCache) -> str:
+    c = cache.counters
+    return (f"cache lookups: {c['hit']} hit, {c['miss']} miss, "
+            f"{c['quarantined']} quarantined")
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    events_path = os.path.join(args.cache_dir, "events.jsonl")
+    events_arg = events_path if os.path.exists(events_path) else None
+    if args.json is not None:
+        # Machine-readable: the same formatter the repro-serve status
+        # endpoint renders jobs with, so CLI and HTTP views can't drift.
+        if args.batch:
+            doc = batch_status(load_batch(args.batch), cache,
+                               events_path=events_arg)
+        else:
+            doc = cache_status(cache, events_path=events_arg)
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"status written to {args.json}")
+        return 0
     if args.batch:
         specs = load_batch(args.batch)
         done = 0
@@ -199,6 +218,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(f"{done}/{len(specs)} jobs cached; "
               f"resume with: repro-orchestrate resume {args.batch} "
               f"--cache-dir {args.cache_dir}")
+        print(_counters_line(cache))
         _summarize_failures(args.cache_dir)
         return 0
     keys = cache.keys()
@@ -279,6 +299,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     inspect.add_argument("batch", nargs="?", default=None,
                          help="optional batch manifest to check")
     inspect.add_argument("--cache-dir", required=True)
+    inspect.add_argument("--json", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="machine-readable status (the repro-serve "
+                              "status formatter) to PATH, or stdout")
     inspect.set_defaults(fn=cmd_inspect)
 
     args = parser.parse_args(argv)

@@ -19,19 +19,73 @@ import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Event kinds, in roughly the order a job can emit them. ``failed``,
 #: ``timeout``, and ``quarantined`` events carry a ``failure_kind``
 #: detail — the failure class from :mod:`repro.resilience.classify` —
 #: so logs can be summarized by *why* jobs failed, not just how many.
+#: ``cache_stats`` is a batch-level event carrying the result cache's
+#: hit/miss/quarantine counters (dedup observability).
 KINDS = ("queued", "cache_hit", "started", "finished", "retried",
-         "timeout", "failed", "quarantined")
+         "timeout", "failed", "quarantined", "cache_stats")
 
 #: Failure-kind events are flushed *and fsynced* the moment they are
 #: recorded: they are exactly the lines a post-mortem needs after the
 #: process (or machine) dies, so they may never sit in a buffer.
 _DURABLE_KINDS = frozenset({"failed", "timeout", "quarantined"})
+
+
+def tail_events(path: str, offset: int = 0) -> Tuple[List[Dict[str, Any]],
+                                                     int, int]:
+    """Read the JSONL event log at ``path`` from byte ``offset``.
+
+    Returns ``(events, new_offset, skipped)``. Built for *live* tailing
+    of a log another process is still appending to (the ``repro-serve``
+    streaming endpoint polls this), so it is deliberately tolerant:
+
+    * a **torn final line** — no trailing newline, the writer crashed
+      (or is still) mid-append — is never consumed: ``new_offset``
+      stops at the last complete line, and the fragment is re-read on
+      the next call once (if ever) its newline lands;
+    * a *complete* line that fails to parse (e.g. a crash-torn fragment
+      that a restarted writer appended after) is skipped and counted in
+      ``skipped`` instead of raising.
+
+    A missing file reads as empty. ``new_offset`` is a plain byte
+    offset, safe to persist and resume from across calls and processes.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return [], offset, 0
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset, 0
+    chunk = data[:end + 1]
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    for line in chunk.splitlines():
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            skipped += 1
+            continue
+        if isinstance(parsed, dict):
+            events.append(parsed)
+        else:
+            skipped += 1
+    return events, offset + len(chunk), skipped
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """All complete, parseable events in a JSONL log (torn tail and
+    damaged lines silently skipped — see :func:`tail_events`)."""
+    return tail_events(path)[0]
 
 
 @dataclass

@@ -266,7 +266,11 @@ class Orchestrator:
         outcomes: Dict[str, JobResult] = {}
         misses: List[JobSpec] = []
         for key, spec in unique.items():
-            cached = self.cache.get(spec) if self.cache else None
+            # "is not None", not truthiness: ResultCache.__len__ makes
+            # an *empty* cache falsy, which would skip the lookup and
+            # leave the miss counters blind on a cold start.
+            cached = (self.cache.get(spec)
+                      if self.cache is not None else None)
             if cached is not None:
                 self.events.record(
                     "cache_hit", key, spec.describe(),
@@ -282,6 +286,11 @@ class Orchestrator:
                 self._run_parallel(misses, outcomes)
 
         results = [outcomes[spec.job_key()] for spec in specs]
+        if self.cache is not None:
+            # Dedup observability: the cache's lifetime lookup counters
+            # (how many submissions collapsed onto existing records).
+            self.events.record("cache_stats", "", "result cache",
+                               **self.cache.counters)
         self.events.flush()
         return BatchResult(results=results, events=self.events,
                            wall_s=time.perf_counter() - t0)

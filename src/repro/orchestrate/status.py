@@ -1,0 +1,109 @@
+"""One status formatter for every machine-readable job view.
+
+``repro-orchestrate inspect --json`` and the ``repro-serve`` HTTP
+status endpoints both render jobs through :func:`job_status_entry`, so
+the CLI view and the service view are the same document by
+construction — a field added here shows up in both, and they can never
+drift apart.
+
+The entry is keyed by the spec's content address and carries the spec
+itself, a human label, whether a cached record exists, and (when it
+does) the headline result numbers plus ``resumed_from`` — the
+checkpoint boundary the successful attempt resumed from, the service's
+crash-recovery audit trail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.events import read_events
+from repro.orchestrate.jobspec import JobSpec
+
+#: Event kinds that carry a ``failure_kind`` detail.
+FAILURE_EVENT_KINDS = ("failed", "timeout", "quarantined")
+
+
+def job_status_entry(spec: JobSpec,
+                     record: Optional[Dict[str, Any]] = None,
+                     **extra: Any) -> Dict[str, Any]:
+    """The canonical machine-readable status of one job.
+
+    ``extra`` lets a caller graft its own fields on (the service adds
+    queue state, tenant, attempts, ...); the core shape stays shared.
+    """
+    entry: Dict[str, Any] = {
+        "job_key": spec.job_key(),
+        "label": spec.describe(),
+        "spec": spec.to_dict(),
+        "cached": record is not None,
+    }
+    if record is not None:
+        result = record.get("result", {})
+        entry["result"] = {
+            "cycles": result.get("cycles"),
+            "traffic": result.get("traffic"),
+            "llc_sync": result.get("llc_sync"),
+        }
+        resumed = record.get("meta", {}).get("resumed_from")
+        if resumed is not None:
+            entry["resumed_from"] = resumed
+    entry.update(extra)
+    return entry
+
+
+def failure_histogram(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Failure-class counts over parsed event-log entries."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("kind") in FAILURE_EVENT_KINDS:
+            kind = event.get("failure_kind", "error")
+            counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def events_status(events_path: str) -> Dict[str, Any]:
+    """Failure histogram + event count from a JSONL event log (torn
+    tails tolerated — see :func:`repro.orchestrate.events.tail_events`)."""
+    events = read_events(events_path)
+    return {"events": len(events), "failure_classes":
+            failure_histogram(events)}
+
+
+def batch_status(specs: Sequence[JobSpec], cache: ResultCache,
+                 events_path: Optional[str] = None) -> Dict[str, Any]:
+    """Machine-readable status of a saved batch against a cache."""
+    jobs: List[Dict[str, Any]] = []
+    done = 0
+    for spec in specs:
+        record = cache.get(spec)
+        done += record is not None
+        jobs.append(job_status_entry(spec, record))
+    doc: Dict[str, Any] = {
+        "total": len(jobs),
+        "cached": done,
+        "missing": len(jobs) - done,
+        "jobs": jobs,
+        "cache_counters": dict(cache.counters),
+    }
+    if events_path is not None:
+        doc.update(events_status(events_path))
+    return doc
+
+
+def cache_status(cache: ResultCache,
+                 events_path: Optional[str] = None) -> Dict[str, Any]:
+    """Machine-readable inventory of a whole result cache."""
+    jobs: List[Dict[str, Any]] = []
+    for record in cache.records():
+        spec = JobSpec.from_dict(record["spec"])
+        jobs.append(job_status_entry(spec, record))
+    doc: Dict[str, Any] = {
+        "total": len(jobs),
+        "jobs": jobs,
+        "cache_counters": dict(cache.counters),
+    }
+    if events_path is not None:
+        doc.update(events_status(events_path))
+    return doc

@@ -1,0 +1,47 @@
+"""repro.serve — the simulation service (ROADMAP north star, item 2).
+
+A multi-tenant front door to the reproduction: tenants submit JobSpecs
+(single jobs or whole sweeps) over a stdlib JSON/REST API; a crash-safe
+journaled queue dedups identical submissions onto one content-addressed
+run, enforces per-tenant quotas with fair-share scheduling, and leases
+runs to a fleet of worker processes with heartbeats, lease-expiry
+requeue, and generation-fenced commits; killed workers' runs resume
+from their newest :mod:`repro.ckpt` checkpoint; the event log and
+per-run telemetry artifacts stream back out over HTTP.
+
+Layers (each its own module):
+
+* :mod:`repro.serve.model`   — submissions, runs, errors, views
+* :mod:`repro.serve.journal` — the durable append-only op log
+* :mod:`repro.serve.queue`   — state machine: dedup, quotas, leases
+* :mod:`repro.serve.api`     — the threaded HTTP server
+* :mod:`repro.serve.client`  — stdlib HTTP client
+* :mod:`repro.serve.worker`  — the lease/execute/commit worker loop
+* :mod:`repro.serve.cli`     — the ``repro-serve`` entry point
+"""
+
+from repro.serve.api import ServeService
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.journal import Journal
+from repro.serve.model import (QuotaExceededError, Run, ServeError,
+                               StaleLeaseError, Submission,
+                               UnknownJobError)
+from repro.serve.queue import JobQueue
+from repro.serve.worker import Worker, execute_serve_job, spawn_worker
+
+__all__ = [
+    "JobQueue",
+    "Journal",
+    "QuotaExceededError",
+    "Run",
+    "ServeClient",
+    "ServeError",
+    "ServeHTTPError",
+    "ServeService",
+    "StaleLeaseError",
+    "Submission",
+    "UnknownJobError",
+    "Worker",
+    "execute_serve_job",
+    "spawn_worker",
+]

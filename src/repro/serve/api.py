@@ -1,0 +1,328 @@
+"""The stdlib HTTP face of the service: JSON over REST.
+
+:class:`ServeService` wraps a :class:`~repro.serve.queue.JobQueue` in a
+:class:`~http.server.ThreadingHTTPServer` plus a housekeeping thread
+that sweeps expired leases. Endpoints (all JSON unless noted):
+
+Client surface::
+
+    GET    /v1/health                          liveness probe
+    GET    /v1/status                          full service status
+    POST   /v1/jobs                            submit one JobSpec
+    POST   /v1/sweeps                          submit many (one fsync)
+    GET    /v1/submissions/<id>                one submission's status
+    GET    /v1/submissions/<id>/result         its finished record
+    DELETE /v1/submissions/<id>                cancel
+    GET    /v1/runs/<job_key>                  shared-run status
+    GET    /v1/runs/<job_key>/result           its finished record
+    GET    /v1/runs/<job_key>/artifacts        telemetry artifact names
+    GET    /v1/runs/<job_key>/artifacts/<name> artifact download (bytes)
+    GET    /v1/events?offset=N[&job=K][&wait_s=S]   tail the event log
+
+Worker surface::
+
+    POST /v1/worker/lease       {worker}                 -> lease | idle
+    POST /v1/worker/heartbeat   {job_key, token, worker} -> deadline
+    POST /v1/worker/commit      {job_key, token, record} -> run view
+    POST /v1/worker/fail        {job_key, token, kind, error}
+
+Admin surface::
+
+    POST /v1/admin/drain        {on}    stop leasing new work
+    POST /v1/admin/expire               force a lease sweep (tests/ops)
+
+``/v1/events`` is the streaming surface: it tails the queue's
+orchestration event log (``events.jsonl``) with the torn-tail-tolerant
+reader, returns a byte offset to resume from, and optionally long-polls
+(``wait_s``) so a client can follow the log live without busy-waiting.
+Errors map :class:`~repro.serve.model.ServeError` subclasses to their
+HTTP statuses (404 unknown, 409 stale lease, 429 quota).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.orchestrate.events import tail_events
+
+from repro.serve.model import ServeError
+from repro.serve.queue import JobQueue
+
+__all__ = ["ServeService"]
+
+#: Cap on the events endpoint's long-poll, seconds.
+_MAX_WAIT_S = 30.0
+_POLL_S = 0.05
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the queue (thread-safe) hangs off the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # Routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        queue: JobQueue = self.server.queue  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            handled = self._route(method, parts, query, queue)
+        except ServeError as exc:
+            self._send_json({"error": str(exc),
+                             "type": type(exc).__name__},
+                            status=exc.http_status)
+            return
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send_json({"error": str(exc),
+                             "type": type(exc).__name__}, status=400)
+            return
+        except Exception as exc:  # noqa: BLE001 — isolate the connection
+            self._send_json({"error": str(exc),
+                             "type": type(exc).__name__}, status=500)
+            return
+        if not handled:
+            self._send_json({"error": f"no route {method} {url.path}"},
+                            status=404)
+
+    def _route(self, method: str, parts: list, query: Dict[str, str],
+               queue: JobQueue) -> bool:
+        if len(parts) < 2 or parts[0] != "v1":
+            return False
+        head, rest = parts[1], parts[2:]
+
+        if method == "GET":
+            if head == "health" and not rest:
+                self._send_json({"ok": True, "draining": queue.draining})
+                return True
+            if head == "status" and not rest:
+                service = self.server  # type: ignore[assignment]
+                doc = queue.status()
+                doc["uptime_s"] = round(
+                    time.time() - service.started_at, 3)  # type: ignore
+                self._send_json(doc)
+                return True
+            if head == "submissions" and len(rest) == 1:
+                self._send_json(queue.submission_view(rest[0]))
+                return True
+            if head == "submissions" and len(rest) == 2 \
+                    and rest[1] == "result":
+                self._send_json(queue.result(rest[0]))
+                return True
+            if head == "runs" and len(rest) == 1:
+                self._send_json(queue.run_view(rest[0]))
+                return True
+            if head == "runs" and len(rest) == 2 and rest[1] == "result":
+                self._send_json(queue.result(rest[0]))
+                return True
+            if head == "runs" and len(rest) == 2 \
+                    and rest[1] == "artifacts":
+                self._send_json(
+                    {"job_key": rest[0],
+                     "artifacts": queue.artifact_names(rest[0])})
+                return True
+            if head == "runs" and len(rest) == 3 \
+                    and rest[1] == "artifacts":
+                return self._send_artifact(queue, rest[0], rest[2])
+            if head == "events" and not rest:
+                self._send_json(self._tail(queue, query))
+                return True
+            return False
+
+        if method == "POST":
+            body = self._read_json()
+            if head == "jobs" and not rest:
+                view = queue.submit(
+                    tenant=str(body["tenant"]), spec_dict=body["spec"],
+                    priority=int(body.get("priority", 0)),
+                    telemetry=bool(body.get("telemetry", False)))
+                self._send_json(view, status=201)
+                return True
+            if head == "sweeps" and not rest:
+                views = queue.submit_many(
+                    tenant=str(body["tenant"]),
+                    spec_dicts=list(body["specs"]),
+                    priority=int(body.get("priority", 0)),
+                    telemetry=bool(body.get("telemetry", False)))
+                self._send_json({"submissions": views}, status=201)
+                return True
+            if head == "worker" and rest == ["lease"]:
+                lease = queue.lease(str(body.get("worker", "anonymous")))
+                if lease is None:
+                    self._send_json({"idle": True,
+                                     "draining": queue.draining})
+                else:
+                    self._send_json(lease, status=201)
+                return True
+            if head == "worker" and rest == ["heartbeat"]:
+                expires = queue.heartbeat(str(body["job_key"]),
+                                          int(body["token"]),
+                                          str(body.get("worker", "")))
+                self._send_json({"expires": expires})
+                return True
+            if head == "worker" and rest == ["commit"]:
+                view = queue.commit(str(body["job_key"]),
+                                    int(body["token"]), body["record"])
+                self._send_json(view, status=201)
+                return True
+            if head == "worker" and rest == ["fail"]:
+                view = queue.fail(str(body["job_key"]), int(body["token"]),
+                                  str(body.get("kind", "error")),
+                                  str(body.get("error", "")))
+                self._send_json(view)
+                return True
+            if head == "admin" and rest == ["drain"]:
+                queue.drain(bool(body.get("on", True)))
+                self._send_json({"draining": queue.draining,
+                                 "idle": queue.idle})
+                return True
+            if head == "admin" and rest == ["expire"]:
+                self._send_json({"requeued": queue.expire_leases()})
+                return True
+            return False
+
+        if method == "DELETE":
+            if head == "submissions" and len(rest) == 1:
+                self._send_json(queue.cancel(rest[0]))
+                return True
+            return False
+        return False
+
+    # Streaming ----------------------------------------------------------
+
+    def _tail(self, queue: JobQueue,
+              query: Dict[str, str]) -> Dict[str, Any]:
+        offset = int(query.get("offset", 0))
+        job = query.get("job")
+        wait_s = min(float(query.get("wait_s", 0)), _MAX_WAIT_S)
+        deadline = time.monotonic() + wait_s
+        while True:
+            events, new_offset, skipped = tail_events(queue.events_path,
+                                                      offset)
+            if job is not None:
+                events = [e for e in events if e.get("job_key") == job]
+            if events or time.monotonic() >= deadline:
+                return {"events": events, "offset": new_offset,
+                        "skipped": skipped}
+            time.sleep(_POLL_S)
+
+    def _send_artifact(self, queue: JobQueue, job_key: str,
+                       name: str) -> bool:
+        # Reject path tricks: artifact names are single path components.
+        if os.path.basename(name) != name or name.startswith("."):
+            return False
+        path = os.path.join(queue.artifacts_dir(job_key), name)
+        if not os.path.isfile(path):
+            return False
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        ctype = ("application/json" if name.endswith(".json")
+                 else "text/csv" if name.endswith(".csv")
+                 else "application/octet-stream")
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+        return True
+
+    # Plumbing -----------------------------------------------------------
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        raw = self.rfile.read(length)
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send_json(self, doc: Any, status: int = 200) -> None:
+        blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+
+class ServeService:
+    """The running service: HTTP server + lease-expiry housekeeping."""
+
+    def __init__(self, queue: JobQueue, host: str = "127.0.0.1",
+                 port: int = 0, housekeeping_s: float = 0.25,
+                 verbose: bool = False) -> None:
+        self.queue = queue
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True           # type: ignore[attr-defined]
+        self.httpd.queue = queue                   # type: ignore[attr-defined]
+        self.httpd.verbose = verbose               # type: ignore[attr-defined]
+        self.httpd.started_at = time.time()        # type: ignore[attr-defined]
+        self.housekeeping_s = housekeeping_s
+        self._threads: list = []
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeService":
+        server = threading.Thread(target=self.httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.1},
+                                  name="serve-http", daemon=True)
+        sweeper = threading.Thread(target=self._housekeeping,
+                                   name="serve-sweeper", daemon=True)
+        self._threads = [server, sweeper]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def _housekeeping(self) -> None:
+        while not self._stop.wait(self.housekeeping_s):
+            try:
+                self.queue.expire_leases()
+            except Exception:  # pragma: no cover - keep sweeping
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self.queue.close()
+
+    def serve_forever(self) -> None:  # pragma: no cover - CLI loop
+        """Foreground mode for the CLI: blocks until interrupted."""
+        try:
+            self._threads[0].join()
+        except KeyboardInterrupt:
+            pass

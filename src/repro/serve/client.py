@@ -1,0 +1,185 @@
+"""Stdlib HTTP client for the service — used by the CLI, the worker
+fleet, and tests.
+
+Raises :class:`ServeHTTPError` (carrying the HTTP status and the
+server's error document) on any non-2xx response, except that
+:meth:`ServeClient.lease` maps "idle" to None and the stale-lease 409
+is re-raised as :class:`~repro.serve.model.StaleLeaseError` so workers
+can branch on it without parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.serve.model import StaleLeaseError
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, doc: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {doc.get('error', doc)}")
+        self.status = status
+        self.doc = doc
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP wrapper around the service endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None,
+                timeout: Optional[float] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=timeout or self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                doc = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                doc = {"error": str(exc)}
+            if exc.code == 409:
+                raise StaleLeaseError(doc.get("error", "stale lease")) \
+                    from None
+            raise ServeHTTPError(exc.code, doc) from None
+
+    # -------------------------------------------------------------- client
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/health")
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/status")
+
+    def submit(self, tenant: str, spec: Dict[str, Any],
+               priority: int = 0,
+               telemetry: bool = False) -> Dict[str, Any]:
+        return self.request("POST", "/v1/jobs",
+                            {"tenant": tenant, "spec": spec,
+                             "priority": priority, "telemetry": telemetry})
+
+    def submit_many(self, tenant: str, specs: List[Dict[str, Any]],
+                    priority: int = 0,
+                    telemetry: bool = False) -> List[Dict[str, Any]]:
+        doc = self.request("POST", "/v1/sweeps",
+                           {"tenant": tenant, "specs": specs,
+                            "priority": priority, "telemetry": telemetry})
+        return doc["submissions"]
+
+    def submission(self, sub_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/submissions/{sub_id}")
+
+    def result(self, ref: str) -> Dict[str, Any]:
+        """Finished record for a submission id or a job key."""
+        if "-" in ref:
+            return self.request("GET", f"/v1/submissions/{ref}/result")
+        return self.request("GET", f"/v1/runs/{ref}/result")
+
+    def run(self, job_key: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/runs/{job_key}")
+
+    def cancel(self, sub_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/v1/submissions/{sub_id}")
+
+    def artifacts(self, job_key: str) -> List[str]:
+        doc = self.request("GET", f"/v1/runs/{job_key}/artifacts")
+        return doc["artifacts"]
+
+    def artifact(self, job_key: str, name: str) -> bytes:
+        url = f"{self.base_url}/v1/runs/{job_key}/artifacts/{name}"
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            return resp.read()
+
+    # ----------------------------------------------------------- streaming
+
+    def events(self, offset: int = 0, job: Optional[str] = None,
+               wait_s: float = 0.0) -> Tuple[List[Dict[str, Any]], int]:
+        """One tail step: events after ``offset`` (optionally filtered
+        to one job, optionally long-polling) plus the next offset."""
+        path = f"/v1/events?offset={offset}"
+        if job:
+            path += f"&job={job}"
+        if wait_s:
+            path += f"&wait_s={wait_s}"
+        doc = self.request("GET", path,
+                           timeout=max(self.timeout, wait_s + 10))
+        return doc["events"], doc["offset"]
+
+    def follow(self, job: Optional[str] = None, poll_s: float = 0.5,
+               stop_after_s: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Generator over the live event stream (Ctrl-C to stop)."""
+        offset = 0
+        deadline = (time.monotonic() + stop_after_s
+                    if stop_after_s else None)
+        while deadline is None or time.monotonic() < deadline:
+            events, offset = self.events(offset, job=job, wait_s=poll_s)
+            for event in events:
+                yield event
+
+    # -------------------------------------------------------------- worker
+
+    def lease(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        doc = self.request("POST", "/v1/worker/lease",
+                           {"worker": worker_id})
+        return None if doc.get("idle") else doc
+
+    def heartbeat(self, job_key: str, token: int,
+                  worker_id: str = "") -> float:
+        doc = self.request("POST", "/v1/worker/heartbeat",
+                           {"job_key": job_key, "token": token,
+                            "worker": worker_id})
+        return float(doc["expires"])
+
+    def commit(self, job_key: str, token: int,
+               record: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/worker/commit",
+                            {"job_key": job_key, "token": token,
+                             "record": record})
+
+    def fail(self, job_key: str, token: int, kind: str,
+             error: str) -> Dict[str, Any]:
+        return self.request("POST", "/v1/worker/fail",
+                            {"job_key": job_key, "token": token,
+                             "kind": kind, "error": error})
+
+    # --------------------------------------------------------------- admin
+
+    def drain(self, on: bool = True) -> Dict[str, Any]:
+        return self.request("POST", "/v1/admin/drain", {"on": on})
+
+    def expire(self) -> List[str]:
+        return self.request("POST", "/v1/admin/expire", {})["requeued"]
+
+    def wait_idle(self, timeout_s: float = 60.0,
+                  poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll status until no queued/leased work remains."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status()
+            runs = status["runs"]
+            if not runs.get("queued", 0) and not runs.get("leased", 0):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"queue not idle after {timeout_s}s: {runs}")
+            time.sleep(poll_s)

@@ -1,0 +1,101 @@
+"""The queue's crash-safe append-only journal.
+
+Every state transition the queue must survive a crash with — submit,
+lease, requeue, commit, fail, cancel — is one JSON line in
+``<root>/journal.jsonl``. On startup the queue replays the journal to
+rebuild its state; leases found open at replay are requeued (the
+processes holding them died with the previous service instance, and
+their tokens are fenced off by the generation bump the next lease
+performs).
+
+Durability is tiered the same way the orchestrator's event log tiers
+it: entries that *are* the system of record — submissions and terminal
+outcomes — are flushed **and fsynced** before the call returns, so an
+acknowledged submission or result can never be lost to a power cut;
+scheduling chatter (lease, requeue) is flushed to the OS but not
+synced, because replay reconstructs it conservatively anyway (an
+unjournaled lease simply gets requeued).
+
+Batch appends (:meth:`Journal.append_many`) amortize one fsync over a
+whole sweep submission — the difference between 1000 fsyncs and one
+when a tenant submits a 1000-point sweep.
+
+The reader is :func:`repro.orchestrate.events.tail_events`: a torn
+final line — the crash happened mid-append — is skipped instead of
+raising, so a journal truncated by the very crash it exists to survive
+still replays cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, List
+
+from repro.orchestrate.events import tail_events
+
+#: Ops that must hit the platter before the call returns.
+DURABLE_OPS = frozenset({"submit", "commit", "fail", "cancel"})
+
+
+class Journal:
+    """One append-only JSONL journal file with tiered durability."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(path, "a")
+
+    # ------------------------------------------------------------ write
+
+    def append(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Append one entry; durable (fsynced) for :data:`DURABLE_OPS`."""
+        (entry,) = self.append_many([{"op": op, **fields}])
+        return entry
+
+    def append_many(self,
+                    entries: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Append a batch atomically enough for a queue (one writer):
+        all lines written under the lock, then one flush, and one fsync
+        if any entry is durable."""
+        batch = [dict(entry) for entry in entries]
+        durable = any(entry.get("op") in DURABLE_OPS for entry in batch)
+        with self._lock:
+            for entry in batch:
+                self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+            if durable:
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:  # pragma: no cover - exotic filesystems
+                    pass
+        return batch
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------- read
+
+    @staticmethod
+    def replay(path: str) -> List[Dict[str, Any]]:
+        """All complete journal entries at ``path`` (torn tail and
+        crash-merged lines tolerated; missing file reads as empty)."""
+        entries, _, _ = tail_events(path)
+        return entries
+
+
+def journal_path(root: str) -> str:
+    return os.path.join(root, "journal.jsonl")
+
+
+def open_journal(root: str) -> Journal:
+    return Journal(journal_path(root))
+
+
+def replay_entries(root: str) -> List[Dict[str, Any]]:
+    return Journal.replay(journal_path(root))

@@ -1,0 +1,158 @@
+"""The service's data model: submissions, runs, and their views.
+
+Two-level identity is the heart of the multi-tenant design:
+
+* a **submission** is one tenant's request — it has its own id, tenant,
+  priority, and lifecycle, and is what clients poll and cancel;
+* a **run** is one *simulation* — keyed by the JobSpec's content
+  address (:meth:`~repro.orchestrate.jobspec.JobSpec.job_key`), it is
+  what workers lease and execute.
+
+Identical submissions — same spec, any tenant — collapse onto one run:
+thousands of users asking for the same experiment cost one simulation,
+and every submission sees its result. This is the same content-address
+dedup the orchestrator's result cache performs, lifted to the queue.
+
+Run lease fencing: every lease increments the run's ``generation``, and
+the worker gets that generation back as its **lease token**. A commit
+(or failure report) must present a token matching the *current*
+generation of a run that is *still leased*; anything else is stale — a
+zombie worker that lost its lease finishing late — and is refused, so a
+re-leased run can never be double-committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.orchestrate.jobspec import JobSpec
+from repro.orchestrate.status import job_status_entry
+
+# Submission states.
+SUB_QUEUED = "queued"
+SUB_DONE = "done"          # run finished (simulated or cache hit)
+SUB_FAILED = "failed"
+SUB_CANCELLED = "cancelled"
+
+# Run states.
+RUN_QUEUED = "queued"
+RUN_LEASED = "leased"
+RUN_DONE = "done"
+RUN_FAILED = "failed"
+RUN_CANCELLED = "cancelled"
+
+#: Terminal states (no further transitions).
+TERMINAL_RUN_STATES = frozenset({RUN_DONE, RUN_FAILED, RUN_CANCELLED})
+TERMINAL_SUB_STATES = frozenset({SUB_DONE, SUB_FAILED, SUB_CANCELLED})
+
+
+class ServeError(Exception):
+    """Base class for queue/service errors (HTTP-mapped by the API)."""
+
+    http_status = 400
+
+
+class UnknownJobError(ServeError):
+    http_status = 404
+
+
+class QuotaExceededError(ServeError):
+    http_status = 429
+
+
+class StaleLeaseError(ServeError):
+    """A worker presented a lease token that is no longer current —
+    its lease expired (and the run was requeued or re-leased) or the
+    run is already terminal. The worker must discard its result."""
+
+    http_status = 409
+
+
+@dataclass
+class Submission:
+    """One tenant's request for one run."""
+
+    sub_id: str
+    tenant: str
+    job_key: str
+    priority: int = 0
+    t_submit: float = 0.0
+    state: str = SUB_QUEUED
+    #: True when the submission was answered straight from the result
+    #: cache (no queueing at all).
+    cache_hit: bool = False
+
+    def view(self, run: Optional["Run"] = None) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "submission_id": self.sub_id,
+            "tenant": self.tenant,
+            "job_key": self.job_key,
+            "priority": self.priority,
+            "state": self.state,
+            "cache_hit": self.cache_hit,
+        }
+        if run is not None:
+            doc["run_state"] = run.state
+            if run.error:
+                doc["error"] = run.error
+                doc["failure_kind"] = run.kind
+            if run.resumed_from is not None:
+                doc["resumed_from"] = run.resumed_from
+        return doc
+
+
+@dataclass
+class Run:
+    """One simulation, shared by every submission with the same spec."""
+
+    job_key: str
+    spec: Dict[str, Any]
+    #: Tenant charged for this run's queue/lease quota: the first
+    #: submitter. Later tenants piggyback for free — their dedup win.
+    tenant: str
+    seq: int = 0                       # FIFO tiebreak within a tenant
+    priority: int = 0                  # max over attached submissions
+    state: str = RUN_QUEUED
+    submissions: List[str] = field(default_factory=list)
+    tenants: Set[str] = field(default_factory=set)
+    attempts: int = 0                  # lease count
+    requeues: int = 0                  # lease expiries / worker failures
+    commits: int = 0                   # successful commits (must stay <=1)
+    stale_commits: int = 0             # fenced-off zombie finishes
+    generation: int = 0                # lease fencing token source
+    worker: Optional[str] = None
+    lease_expires: float = 0.0         # wall clock (time.time) deadline
+    error: str = ""
+    kind: str = "ok"
+    #: Checkpoint boundary the committing attempt resumed from, if any.
+    resumed_from: Optional[int] = None
+    #: Any attached submission asked for telemetry artifacts.
+    telemetry: bool = False
+
+    def job_spec(self) -> JobSpec:
+        return JobSpec.from_dict(self.spec)
+
+    def view(self, record: Optional[Dict[str, Any]] = None,
+             artifacts: Optional[List[str]] = None) -> Dict[str, Any]:
+        """The run's status document — the *shared* formatter
+        (:func:`repro.orchestrate.status.job_status_entry`) plus the
+        queue-side fields only the service knows."""
+        extra: Dict[str, Any] = {
+            "state": self.state,
+            "tenant": self.tenant,
+            "tenants": sorted(self.tenants),
+            "priority": self.priority,
+            "submissions": len(self.submissions),
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "worker": self.worker if self.state == RUN_LEASED else None,
+        }
+        if self.error:
+            extra["error"] = self.error
+            extra["failure_kind"] = self.kind
+        if self.resumed_from is not None:
+            extra["resumed_from"] = self.resumed_from
+        if artifacts:
+            extra["artifacts"] = list(artifacts)
+        return job_status_entry(self.job_spec(), record, **extra)

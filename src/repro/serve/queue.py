@@ -1,0 +1,652 @@
+"""The persistent, multi-tenant job queue.
+
+State lives in memory behind one lock and is rebuilt from the
+append-only journal (:mod:`repro.serve.journal`) on startup; results
+live in the orchestrator's content-addressed
+:class:`~repro.orchestrate.cache.ResultCache`, so the queue's dedup and
+the batch scheduler's dedup are literally the same directory. Every
+transition also lands on an orchestration
+:class:`~repro.orchestrate.events.EventLog` (``<root>/events.jsonl``),
+which is what the service's streaming endpoints tail.
+
+Scheduling — :meth:`JobQueue.lease` picks, among runs whose owning
+tenant is under its lease quota, the run of the **least-loaded tenant**
+(fair share), breaking ties by higher priority then FIFO order. A
+tenant hammering the service with thousands of jobs cannot starve a
+tenant submitting one: the idle tenant's first job wins the next lease.
+
+Crash recovery invariants:
+
+* an acknowledged submission is journaled durably (fsync) *before* the
+  acknowledgment — it can never be lost;
+* a worker that stops heartbeating has its run requeued **exactly
+  once** per expiry (the expiry transition itself moves the run out of
+  the leased state, so a second sweep finds nothing to requeue);
+* a committed result is written to the result cache *before* the
+  commit is journaled — a crash between the two replays as "queued run
+  whose record already exists" and completes as a cache hit;
+* a zombie worker finishing after its lease expired is fenced by the
+  lease generation token and its commit refused
+  (:class:`~repro.serve.model.StaleLeaseError`) — a run commits at
+  most once.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.events import EventLog
+from repro.orchestrate.jobspec import JobSpec
+from repro.orchestrate.scheduler import DETERMINISTIC_KINDS
+
+from repro.serve.journal import Journal, journal_path
+from repro.serve.model import (RUN_CANCELLED, RUN_DONE, RUN_FAILED,
+                               RUN_LEASED, RUN_QUEUED, SUB_CANCELLED,
+                               SUB_DONE, SUB_FAILED, SUB_QUEUED,
+                               TERMINAL_RUN_STATES, QuotaExceededError,
+                               Run, StaleLeaseError, Submission,
+                               UnknownJobError)
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """See the module docstring. All public methods are thread-safe."""
+
+    def __init__(self, root: str, *,
+                 lease_s: float = 5.0,
+                 max_attempts: int = 5,
+                 default_quota: int = 0,
+                 quotas: Optional[Dict[str, int]] = None,
+                 max_queued_per_tenant: int = 0,
+                 checkpoint_every: int = 2000,
+                 checkpoint_ring: int = 4,
+                 verbose: bool = False) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        #: Per-tenant max concurrently leased runs (0 = unlimited).
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+        #: Per-tenant max live (non-terminal) submissions (0 = unlimited).
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_ring = checkpoint_ring
+
+        self.cache = ResultCache(os.path.join(self.root, "cache"))
+        self.checkpoint_dir = os.path.join(self.root, "ckpts")
+        self.artifacts_root = os.path.join(self.root, "artifacts")
+        self.events_path = os.path.join(self.root, "events.jsonl")
+        self.events = EventLog(sink_path=self.events_path, verbose=verbose)
+
+        self._lock = threading.RLock()
+        self.runs: Dict[str, Run] = {}
+        self.subs: Dict[str, Submission] = {}
+        self.workers: Dict[str, Dict[str, Any]] = {}
+        self.counters: Counter = Counter()
+        self.draining = False
+        self._seq = 0          # run FIFO order
+        self._sub_seq = 0      # submission id counter
+        self._replaying = False
+
+        restored = self._replay()
+        self._journal = Journal(journal_path(self.root))
+        if restored:
+            self._event("restart", "", "journal replayed",
+                        runs=len(self.runs), submissions=len(self.subs),
+                        requeued=restored.get("requeued", 0))
+
+    # --------------------------------------------------------- internals
+
+    def _event(self, kind: str, job_key: str, label: str = "",
+               **detail: Any) -> None:
+        """Record + flush (the stream endpoints tail this file live);
+        suppressed during replay so restarts don't duplicate history."""
+        if self._replaying:
+            return
+        self.events.record(kind, job_key, label, **detail)
+        self.events.flush()
+
+    def _journal_op(self, op: str, **fields: Any) -> None:
+        if not self._replaying:
+            self._journal.append(op, **fields)
+
+    def quota_for(self, tenant: str) -> int:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _active_leases(self, tenant: str) -> int:
+        return sum(1 for run in self.runs.values()
+                   if run.state == RUN_LEASED and run.tenant == tenant)
+
+    def _live_submissions(self, tenant: str) -> int:
+        return sum(1 for sub in self.subs.values()
+                   if sub.tenant == tenant
+                   and sub.state in (SUB_QUEUED,))
+
+    def artifacts_dir(self, job_key: str) -> str:
+        return os.path.join(self.artifacts_root, job_key)
+
+    def artifact_names(self, job_key: str) -> List[str]:
+        directory = self.artifacts_dir(job_key)
+        if not os.path.isdir(directory):
+            return []
+        return sorted(name for name in os.listdir(directory)
+                      if os.path.isfile(os.path.join(directory, name)))
+
+    # ------------------------------------------------------------ submit
+
+    def submit(self, tenant: str, spec_dict: Dict[str, Any],
+               priority: int = 0,
+               telemetry: bool = False) -> Dict[str, Any]:
+        """Accept one submission; returns its view (durably journaled
+        before return). Identical specs collapse onto one run."""
+        (view,) = self.submit_many(tenant, [spec_dict], priority=priority,
+                                   telemetry=telemetry)
+        return view
+
+    def submit_many(self, tenant: str, spec_dicts: List[Dict[str, Any]],
+                    priority: int = 0,
+                    telemetry: bool = False) -> List[Dict[str, Any]]:
+        """Batch submission (a sweep): one journal append, one fsync."""
+        if not tenant or "/" in tenant:
+            raise ValueError(f"bad tenant name {tenant!r}")
+        specs = [JobSpec.from_dict(d) for d in spec_dicts]
+        with self._lock:
+            if self.max_queued_per_tenant:
+                live = self._live_submissions(tenant)
+                if live + len(specs) > self.max_queued_per_tenant:
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} would have {live + len(specs)} "
+                        f"live submissions "
+                        f"(max {self.max_queued_per_tenant})")
+            entries = []
+            views = []
+            for spec in specs:
+                self._sub_seq += 1
+                sub_id = f"{tenant}-{self._sub_seq:07d}"
+                entry = {"op": "submit", "sub": sub_id, "tenant": tenant,
+                         "priority": priority, "job_key": spec.job_key(),
+                         "spec": spec.to_dict(), "telemetry": telemetry,
+                         "t": time.time()}
+                entries.append(entry)
+            if not self._replaying:
+                self._journal.append_many(entries)
+            for entry in entries:
+                views.append(self._apply_submit(entry).view(
+                    self.runs.get(entry["job_key"])))
+            return views
+
+    def _apply_submit(self, entry: Dict[str, Any]) -> Submission:
+        tenant = entry["tenant"]
+        job_key = entry["job_key"]
+        sub = Submission(sub_id=entry["sub"], tenant=tenant,
+                         job_key=job_key,
+                         priority=int(entry.get("priority", 0)),
+                         t_submit=float(entry.get("t", 0.0)))
+        self.subs[sub.sub_id] = sub
+        run = self.runs.get(job_key)
+        if run is None:
+            # Dedup against the content-addressed cache before queueing:
+            # an identical job finished by an earlier batch, an earlier
+            # service life, or the plain orchestrator costs nothing.
+            record = (None if self._replaying
+                      else self.cache.get(JobSpec.from_dict(entry["spec"])))
+            if record is not None:
+                sub.state = SUB_DONE
+                sub.cache_hit = True
+                run = Run(job_key=job_key, spec=entry["spec"],
+                          tenant=tenant, seq=self._next_seq(),
+                          priority=sub.priority, state=RUN_DONE)
+                run.submissions.append(sub.sub_id)
+                run.tenants.add(tenant)
+                run.telemetry = bool(entry.get("telemetry", False))
+                self.runs[job_key] = run
+                self._event("cache_hit", job_key, sub.sub_id,
+                            tenant=tenant,
+                            cycles=record.get("result", {}).get("cycles", 0))
+                return sub
+            run = Run(job_key=job_key, spec=entry["spec"], tenant=tenant,
+                      seq=self._next_seq(), priority=sub.priority)
+            run.telemetry = bool(entry.get("telemetry", False))
+            self.runs[job_key] = run
+        elif run.state in (RUN_FAILED, RUN_CANCELLED):
+            # Fresh demand revives a terminally-failed/cancelled run.
+            run.state = RUN_QUEUED
+            run.attempts = 0
+            run.error, run.kind = "", "ok"
+            run.seq = self._next_seq()
+        run.submissions.append(sub.sub_id)
+        run.tenants.add(tenant)
+        run.priority = max(run.priority, sub.priority)
+        run.telemetry = run.telemetry or bool(entry.get("telemetry", False))
+        if run.state == RUN_DONE:
+            sub.state = SUB_DONE
+            sub.cache_hit = True
+            self._event("cache_hit", job_key, sub.sub_id, tenant=tenant)
+        else:
+            self._event("queued", job_key, sub.sub_id, tenant=tenant,
+                        priority=sub.priority)
+        return sub
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------- lease
+
+    def lease(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Hand the best queued run to ``worker_id``, or None (idle /
+        draining). The response carries the run payload (spec plus
+        out-of-band checkpoint/telemetry routing), the fencing token,
+        and the heartbeat deadline."""
+        with self._lock:
+            self._touch_worker(worker_id)
+            if self.draining:
+                return None
+            run = self._pick()
+            if run is None:
+                return None
+            run.state = RUN_LEASED
+            run.attempts += 1
+            run.generation += 1
+            run.worker = worker_id
+            run.lease_expires = time.time() + self.lease_s
+            self.workers[worker_id]["job_key"] = run.job_key
+            self._journal_op("lease", job_key=run.job_key,
+                             worker=worker_id, gen=run.generation,
+                             attempt=run.attempts,
+                             expires=run.lease_expires)
+            self._event("started", run.job_key,
+                        run.job_spec().describe(), attempt=run.attempts,
+                        worker=worker_id, tenant=run.tenant)
+            return {
+                "job_key": run.job_key,
+                "token": run.generation,
+                "attempt": run.attempts,
+                "lease_s": self.lease_s,
+                "payload": self._payload(run),
+            }
+
+    def _pick(self) -> Optional[Run]:
+        """Fair-share pick; see the module docstring."""
+        eligible: Dict[str, List[Run]] = {}
+        for run in self.runs.values():
+            if run.state != RUN_QUEUED:
+                continue
+            quota = self.quota_for(run.tenant)
+            if quota and self._active_leases(run.tenant) >= quota:
+                continue
+            eligible.setdefault(run.tenant, []).append(run)
+        if not eligible:
+            return None
+        tenant = min(eligible,
+                     key=lambda t: (self._active_leases(t), t))
+        return min(eligible[tenant],
+                   key=lambda r: (-r.priority, r.seq))
+
+    def _payload(self, run: Run) -> Dict[str, Any]:
+        """What the worker executes: the spec dict plus out-of-band
+        (never content-hashed) checkpoint and telemetry routing."""
+        payload = dict(run.spec)
+        if self.checkpoint_every > 0:
+            payload["_checkpoint"] = {
+                "dir": self.checkpoint_dir,
+                "every": self.checkpoint_every,
+                "ring": self.checkpoint_ring,
+                "resume": True,
+            }
+        if getattr(run, "telemetry", False):
+            payload["_telemetry"] = {"dir": self.artifacts_dir(run.job_key)}
+        return payload
+
+    def _touch_worker(self, worker_id: str) -> None:
+        info = self.workers.setdefault(
+            worker_id, {"leases": 0, "job_key": None})
+        info["last_seen"] = time.time()
+
+    # --------------------------------------------------------- heartbeat
+
+    def heartbeat(self, job_key: str, token: int, worker_id: str = "") -> float:
+        """Extend a live lease; returns the new deadline. Raises
+        :class:`StaleLeaseError` when the lease is gone — the worker's
+        signal to abandon the run (its commit would be refused too)."""
+        with self._lock:
+            if worker_id:
+                self._touch_worker(worker_id)
+            run = self._run(job_key)
+            if run.state != RUN_LEASED or token != run.generation:
+                raise StaleLeaseError(
+                    f"lease for {job_key[:12]} is no longer held "
+                    f"(state={run.state}, gen={run.generation}, "
+                    f"presented={token})")
+            run.lease_expires = time.time() + self.lease_s
+            return run.lease_expires
+
+    def expire_leases(self, now: Optional[float] = None) -> List[str]:
+        """Requeue every run whose lease deadline passed (the worker
+        stopped heartbeating: SIGKILLed, wedged, or partitioned).
+        Exactly once per expiry: the transition out of ``leased`` is
+        what a later sweep keys off, so it cannot fire twice."""
+        now = time.time() if now is None else now
+        requeued = []
+        with self._lock:
+            for run in list(self.runs.values()):
+                if run.state != RUN_LEASED or run.lease_expires > now:
+                    continue
+                self._requeue(run, reason="lease_expired")
+                requeued.append(run.job_key)
+        return requeued
+
+    def _requeue(self, run: Run, reason: str) -> None:
+        worker = run.worker
+        run.worker = None
+        if run.attempts >= self.max_attempts:
+            self._terminal_failure(
+                run, kind="crash",
+                error=f"{reason} after {run.attempts} attempt(s)")
+            return
+        run.state = RUN_QUEUED
+        run.requeues += 1
+        self.counters["requeues"] += 1
+        self._journal_op("requeue", job_key=run.job_key, reason=reason,
+                         attempts=run.attempts)
+        self._event("retried", run.job_key, run.job_spec().describe(),
+                    attempt=run.attempts, error=reason, worker=worker)
+
+    # ------------------------------------------------------ commit / fail
+
+    def commit(self, job_key: str, token: int,
+               record: Dict[str, Any]) -> Dict[str, Any]:
+        """Publish a finished run's record. Fenced: only the current
+        leaseholder may commit; anyone else gets StaleLeaseError and
+        must discard. The record hits the result cache (atomic,
+        checksummed) *before* the commit is journaled."""
+        with self._lock:
+            run = self._run(job_key)
+            if run.state != RUN_LEASED or token != run.generation:
+                run.stale_commits += 1
+                self.counters["stale_commits"] += 1
+                self._event("stale_commit", job_key,
+                            worker=run.worker or "",
+                            presented=token, gen=run.generation,
+                            state=run.state)
+                raise StaleLeaseError(
+                    f"commit for {job_key[:12]} refused: lease not held "
+                    f"(state={run.state}, presented gen {token}, "
+                    f"current {run.generation})")
+            spec = run.job_spec()
+            self.cache.put(spec, record)
+            resumed = record.get("meta", {}).get("resumed_from")
+            run.state = RUN_DONE
+            run.commits += 1
+            run.worker = None
+            run.resumed_from = resumed
+            self._journal_op("commit", job_key=job_key, gen=token,
+                             **({"resumed_from": resumed}
+                                if resumed is not None else {}))
+            self._settle_submissions(run, SUB_DONE)
+            self._event(
+                "finished", job_key, spec.describe(),
+                attempt=run.attempts,
+                cycles=record.get("result", {}).get("cycles", 0),
+                wall_s=record.get("meta", {}).get("wall_s", 0.0),
+                **({"resumed_from": resumed} if resumed is not None else {}))
+            return run.view(record)
+
+    def fail(self, job_key: str, token: int, kind: str,
+             error: str) -> Dict[str, Any]:
+        """A worker reports a failed execution. Deterministic verdicts
+        (invariant/liveness/timeout) are terminal — the simulation
+        would fail identically again; infrastructure failures requeue
+        until ``max_attempts``. Fenced like :meth:`commit`."""
+        with self._lock:
+            run = self._run(job_key)
+            if run.state != RUN_LEASED or token != run.generation:
+                self.counters["stale_fails"] += 1
+                raise StaleLeaseError(
+                    f"failure report for {job_key[:12]} refused: lease "
+                    f"not held")
+            run.worker = None
+            if kind in DETERMINISTIC_KINDS or run.attempts >= \
+                    self.max_attempts:
+                self._terminal_failure(run, kind=kind, error=error)
+            else:
+                self._requeue(run, reason=f"worker_failed: {error}")
+            return run.view()
+
+    def _terminal_failure(self, run: Run, kind: str, error: str) -> None:
+        run.state = RUN_FAILED
+        run.kind = kind
+        run.error = error
+        self._journal_op("fail", job_key=run.job_key, kind=kind,
+                         error=error)
+        self._settle_submissions(run, SUB_FAILED)
+        self._event("failed", run.job_key, run.job_spec().describe(),
+                    attempt=run.attempts, failure_kind=kind, error=error)
+
+    def _settle_submissions(self, run: Run, state: str) -> None:
+        for sub_id in run.submissions:
+            sub = self.subs.get(sub_id)
+            if sub is not None and sub.state == SUB_QUEUED:
+                sub.state = state
+
+    def _run(self, job_key: str) -> Run:
+        run = self.runs.get(job_key)
+        if run is None:
+            raise UnknownJobError(f"unknown job {job_key[:16]!r}")
+        return run
+
+    # ------------------------------------------------------------ cancel
+
+    def cancel(self, sub_id: str) -> Dict[str, Any]:
+        """Cancel one submission. The shared run is only cancelled when
+        *every* submission riding it is cancelled and it is not
+        currently executing (a leased run finishes and commits — other
+        tenants may re-request the spec for free afterwards)."""
+        with self._lock:
+            sub = self.subs.get(sub_id)
+            if sub is None:
+                raise UnknownJobError(f"unknown submission {sub_id!r}")
+            if sub.state != SUB_QUEUED:
+                return sub.view(self.runs.get(sub.job_key))
+            sub.state = SUB_CANCELLED
+            self._journal_op("cancel", sub=sub_id)
+            run = self.runs.get(sub.job_key)
+            self._maybe_cancel_run(run)
+            self._event("cancelled", sub.job_key, sub_id)
+            return sub.view(run)
+
+    def _maybe_cancel_run(self, run: Optional[Run]) -> None:
+        if (run is not None and run.state == RUN_QUEUED
+                and all(self.subs[s].state == SUB_CANCELLED
+                        for s in run.submissions if s in self.subs)):
+            run.state = RUN_CANCELLED
+            run.kind = "cancelled"
+
+    # ------------------------------------------------------------- drain
+
+    def drain(self, on: bool = True) -> None:
+        with self._lock:
+            self.draining = on
+            self._journal_op("drain", on=on)
+            self._event("drain", "", on=on)
+
+    @property
+    def idle(self) -> bool:
+        """No queued or leased work anywhere."""
+        with self._lock:
+            return all(run.state in TERMINAL_RUN_STATES
+                       for run in self.runs.values())
+
+    # ------------------------------------------------------------- views
+
+    def submission_view(self, sub_id: str) -> Dict[str, Any]:
+        with self._lock:
+            sub = self.subs.get(sub_id)
+            if sub is None:
+                raise UnknownJobError(f"unknown submission {sub_id!r}")
+            return sub.view(self.runs.get(sub.job_key))
+
+    def run_view(self, job_key: str) -> Dict[str, Any]:
+        with self._lock:
+            run = self._run(job_key)
+            record = (self.cache.get(run.job_spec())
+                      if run.state == RUN_DONE else None)
+            return run.view(record, artifacts=self.artifact_names(job_key))
+
+    def result(self, ref: str) -> Dict[str, Any]:
+        """The finished record for a submission id or job key."""
+        with self._lock:
+            sub = self.subs.get(ref)
+            job_key = sub.job_key if sub is not None else ref
+            run = self._run(job_key)
+            if run.state != RUN_DONE:
+                raise UnknownJobError(
+                    f"job {job_key[:12]} has no result "
+                    f"(state={run.state}{': ' + run.error if run.error else ''})")
+            record = self.cache.get(run.job_spec())
+            if record is None:  # pragma: no cover - cache damage
+                raise UnknownJobError(
+                    f"record for {job_key[:12]} missing from cache")
+            return record
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            run_states = Counter(run.state for run in self.runs.values())
+            sub_states = Counter(sub.state for sub in self.subs.values())
+            cache_hits = sum(1 for s in self.subs.values() if s.cache_hit)
+            # Runs are charged to their first submitter, but every
+            # submitting tenant gets a row — a tenant whose specs all
+            # dedup'd onto others' runs still has submissions to show.
+            by_tenant: Dict[str, Dict[str, Any]] = {}
+            for sub in self.subs.values():
+                by_tenant.setdefault(sub.tenant, Counter())
+            for run in self.runs.values():
+                info = by_tenant.setdefault(run.tenant, Counter())
+                info[run.state] += 1
+            tenants = {}
+            for tenant, states in by_tenant.items():
+                tenants[tenant] = {
+                    **{state: states.get(state, 0)
+                       for state in (RUN_QUEUED, RUN_LEASED, RUN_DONE,
+                                     RUN_FAILED, RUN_CANCELLED)},
+                    "active_leases": self._active_leases(tenant),
+                    "quota": self.quota_for(tenant),
+                    "submissions": sum(1 for s in self.subs.values()
+                                       if s.tenant == tenant),
+                }
+            resumed = sum(1 for run in self.runs.values()
+                          if run.resumed_from is not None)
+            return {
+                "draining": self.draining,
+                "runs": {"total": len(self.runs), **dict(run_states)},
+                "submissions": {"total": len(self.subs),
+                                "cache_hits": cache_hits,
+                                **dict(sub_states)},
+                "tenants": tenants,
+                "workers": {
+                    worker: {"last_seen": info.get("last_seen"),
+                             "job_key": info.get("job_key")}
+                    for worker, info in self.workers.items()},
+                "resumed_runs": resumed,
+                "counters": dict(self.counters),
+                "cache": dict(self.cache.counters),
+                "throughput": self.events.throughput(),
+            }
+
+    # ------------------------------------------------------------ replay
+
+    def _replay(self) -> Optional[Dict[str, int]]:
+        entries = Journal.replay(journal_path(self.root))
+        if not entries:
+            return None
+        self._replaying = True
+        try:
+            for entry in entries:
+                self._replay_one(entry)
+            # Leases open at the crash died with their workers: requeue
+            # them (the next lease's generation bump fences old tokens).
+            # Still under the replay flag — a replayed restart must not
+            # journal or re-narrate what replay itself reconstructs.
+            requeued = 0
+            for run in list(self.runs.values()):
+                if run.state == RUN_LEASED:
+                    self._requeue(run, reason="restart")
+                    requeued += 1
+            # A crash between cache.put and the commit journal line
+            # replays as "queued, but its record already exists":
+            # finish it now.
+            for run in self.runs.values():
+                if run.state == RUN_QUEUED:
+                    record = self.cache.get(run.job_spec())
+                    if record is not None:
+                        run.state = RUN_DONE
+                        run.resumed_from = record.get("meta", {}).get(
+                            "resumed_from")
+                        self._settle_submissions(run, SUB_DONE)
+        finally:
+            self._replaying = False
+        return {"requeued": requeued}
+
+    def _replay_one(self, entry: Dict[str, Any]) -> None:
+        op = entry.get("op")
+        if op == "submit":
+            sub_id = entry.get("sub", "")
+            self._apply_submit(entry)
+            # Keep fresh ids unique across service lives.
+            try:
+                self._sub_seq = max(self._sub_seq,
+                                    int(sub_id.rsplit("-", 1)[-1]))
+            except ValueError:  # pragma: no cover - hand-edited journal
+                pass
+        elif op == "lease":
+            run = self.runs.get(entry.get("job_key", ""))
+            if run is not None and run.state == RUN_QUEUED:
+                run.state = RUN_LEASED
+                run.generation = int(entry.get("gen", run.generation + 1))
+                run.attempts = int(entry.get("attempt", run.attempts + 1))
+                run.worker = entry.get("worker")
+                run.lease_expires = float(entry.get("expires", 0.0))
+        elif op == "requeue":
+            run = self.runs.get(entry.get("job_key", ""))
+            if run is not None and run.state == RUN_LEASED:
+                run.state = RUN_QUEUED
+                run.requeues += 1
+                run.worker = None
+        elif op == "commit":
+            run = self.runs.get(entry.get("job_key", ""))
+            if run is not None and run.state not in TERMINAL_RUN_STATES:
+                run.state = RUN_DONE
+                run.commits += 1
+                run.worker = None
+                run.resumed_from = entry.get("resumed_from")
+                self._settle_submissions(run, SUB_DONE)
+        elif op == "fail":
+            run = self.runs.get(entry.get("job_key", ""))
+            if run is not None and run.state not in TERMINAL_RUN_STATES:
+                run.state = RUN_FAILED
+                run.kind = entry.get("kind", "error")
+                run.error = entry.get("error", "")
+                run.worker = None
+                self._settle_submissions(run, SUB_FAILED)
+        elif op == "cancel":
+            sub = self.subs.get(entry.get("sub", ""))
+            if sub is not None and sub.state == SUB_QUEUED:
+                sub.state = SUB_CANCELLED
+                self._maybe_cancel_run(self.runs.get(sub.job_key))
+        elif op == "drain":
+            self.draining = bool(entry.get("on", False))
+
+    def close(self) -> None:
+        self._journal.close()
+        self.events.close()

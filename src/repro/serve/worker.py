@@ -1,0 +1,289 @@
+"""The worker fleet: lease, heartbeat, execute, commit.
+
+A worker is one OS process in a loop: lease a run over HTTP, start a
+daemon heartbeat thread, execute the simulation, and commit the record
+(or report the failure, classified with the shared taxonomy). Workers
+are stateless — every durable fact lives server-side in the journal,
+the result cache, and the checkpoint store — so a worker may be
+SIGKILLed at any instant:
+
+* its heartbeats stop, the lease expires, and the service requeues the
+  run exactly once;
+* the next worker to lease the run finds the dead worker's checkpoints
+  in the shared store and **resumes** from the newest valid boundary
+  instead of re-simulating from scratch (the committed record then
+  carries ``meta.resumed_from``);
+* if the "dead" worker was merely wedged and finishes late, its commit
+  presents a stale lease generation and is refused — it discards the
+  result and moves on.
+
+Run one attached worker with ``repro-serve worker --server URL`` (or
+``python -m repro.serve.worker``); the ``serve`` command can also spawn
+a local fleet itself. ``--kill-after-boundaries N`` is the
+crash-testing hook (mirroring ``Checkpointer.boundary_hook``): the
+worker SIGKILLs *itself* at the Nth checkpoint boundary of a leased
+run, which is how the load test and CI die deterministically strictly
+between two durable checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import config_for
+from repro.energy.model import energy_of
+from repro.harness.runner import RunResult, run_workload
+from repro.orchestrate.jobspec import JobSpec
+from repro.orchestrate.record import record_of
+from repro.orchestrate.registry import build_workload
+from repro.resilience.classify import classify_failure
+
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.model import StaleLeaseError
+
+__all__ = ["Worker", "execute_serve_job", "spawn_worker", "main"]
+
+
+def execute_serve_job(payload: Dict[str, Any],
+                      boundary_hook: Optional[Callable[[int], None]] = None
+                      ) -> Dict[str, Any]:
+    """Run one leased payload to its record.
+
+    The payload is a JobSpec dict plus the out-of-band routing the
+    queue attached (neither is part of the content address):
+
+    * ``_checkpoint`` — ``{dir, every, ring, resume}``: checkpoint into
+      the shared store while running and resume from the newest valid
+      checkpoint a previous attempt left behind (the record's meta then
+      carries ``resumed_from``);
+    * ``_telemetry`` — ``{dir, sample_every?}``: attach the obs layer
+      and export a Perfetto trace (``trace.json``) and counter
+      time-series (``series.csv``) into the run's artifact directory,
+      which the service's artifact endpoints serve.
+    """
+    payload = dict(payload)
+    ckpt_cfg = payload.pop("_checkpoint", None)
+    tel_cfg = payload.pop("_telemetry", None)
+    spec = JobSpec.from_dict(payload)
+    config = config_for(spec.config_label, seed=spec.seed,
+                        **spec.config_overrides)
+    workload = build_workload(spec.workload, spec.workload_params)
+
+    telemetry = None
+    if tel_cfg is not None:
+        from repro.obs.telemetry import Telemetry, TelemetryConfig
+        telemetry = Telemetry(TelemetryConfig(
+            sample_every=int(tel_cfg.get("sample_every", 200)),
+            spans=True))
+
+    t0 = time.perf_counter()
+    resumed_from: Optional[int] = None
+    if ckpt_cfg:
+        from repro.ckpt import Checkpointer, CheckpointStore
+        checkpointer = Checkpointer(
+            spec, CheckpointStore(ckpt_cfg["dir"]),
+            every=int(ckpt_cfg.get("every", 2000)),
+            ring=int(ckpt_cfg.get("ring", 8)),
+            telemetry=telemetry, workload=workload,
+            boundary_hook=boundary_hook)
+        stats = checkpointer.run(resume=bool(ckpt_cfg.get("resume", True)))
+        resumed_from = checkpointer.resumed_from
+        result = RunResult(workload=workload.name,
+                           config_label=config.label(), stats=stats,
+                           energy=energy_of(stats), telemetry=telemetry)
+    else:
+        result = run_workload(config, workload, telemetry=telemetry)
+
+    record = record_of(spec, result, wall_s=time.perf_counter() - t0)
+    if resumed_from is not None:
+        record["meta"]["resumed_from"] = resumed_from
+    if telemetry is not None and tel_cfg.get("dir"):
+        record["meta"]["artifacts"] = _export_artifacts(
+            telemetry, tel_cfg["dir"])
+    return record
+
+
+def _export_artifacts(telemetry: Any, directory: str) -> List[str]:
+    os.makedirs(directory, exist_ok=True)
+    names = []
+    telemetry.write_perfetto(os.path.join(directory, "trace.json"),
+                             validate=False)
+    names.append("trace.json")
+    if telemetry.sampler is not None:
+        with open(os.path.join(directory, "series.csv"), "w") as handle:
+            telemetry.sampler.to_csv(handle)
+        names.append("series.csv")
+    return names
+
+
+class Worker:
+    """One worker process's lease/execute/commit loop."""
+
+    def __init__(self, server_url: str, worker_id: Optional[str] = None,
+                 poll_s: float = 0.2, max_jobs: int = 0,
+                 exit_on_drain: bool = False,
+                 kill_after_boundaries: int = 0,
+                 verbose: bool = False) -> None:
+        self.client = ServeClient(server_url)
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.poll_s = poll_s
+        self.max_jobs = max_jobs
+        self.exit_on_drain = exit_on_drain
+        self.kill_after_boundaries = kill_after_boundaries
+        self.verbose = verbose
+        self.jobs_done = 0
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[{self.worker_id}] {message}", flush=True)
+
+    def run(self) -> int:
+        """Loop until drained (with ``exit_on_drain``) or ``max_jobs``.
+        Transient server unavailability is retried, not fatal."""
+        while True:
+            try:
+                doc = self.client.request("POST", "/v1/worker/lease",
+                                          {"worker": self.worker_id})
+            except (ServeHTTPError, OSError):
+                time.sleep(self.poll_s)
+                continue
+            if doc.get("idle"):
+                if doc.get("draining") and self.exit_on_drain:
+                    self._log("drained; exiting")
+                    return 0
+                time.sleep(self.poll_s)
+                continue
+            self._execute(doc)
+            self.jobs_done += 1
+            if self.max_jobs and self.jobs_done >= self.max_jobs:
+                return 0
+
+    # ------------------------------------------------------------ one job
+
+    def _execute(self, lease: Dict[str, Any]) -> None:
+        job_key = lease["job_key"]
+        token = int(lease["token"])
+        lease_s = float(lease.get("lease_s", 5.0))
+        self._log(f"leased {job_key[:12]} (attempt {lease['attempt']})")
+
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat, args=(job_key, token, lease_s, stop),
+            name=f"{self.worker_id}-heartbeat", daemon=True)
+        beat.start()
+        try:
+            record = execute_serve_job(lease["payload"],
+                                       boundary_hook=self._kill_hook())
+        except Exception as exc:  # noqa: BLE001 — job isolation
+            stop.set()
+            beat.join(timeout=1.0)
+            kind = classify_failure(exc)
+            self._log(f"failed {job_key[:12]}: [{kind}] {exc}")
+            try:
+                self.client.fail(job_key, token, kind, str(exc))
+            except (StaleLeaseError, ServeHTTPError, OSError):
+                pass  # lease already gone; the service requeued it
+            return
+        stop.set()
+        beat.join(timeout=1.0)
+        try:
+            view = self.client.commit(job_key, token, record)
+            resumed = view.get("resumed_from")
+            self._log(f"committed {job_key[:12]}"
+                      + (f" (resumed from {resumed})"
+                         if resumed is not None else ""))
+        except StaleLeaseError:
+            # Zombie path: we lost the lease mid-run (expired and
+            # requeued/re-leased). The result is discarded — committing
+            # it anyway is exactly the double-commit the fence exists
+            # to prevent.
+            self._log(f"stale lease for {job_key[:12]}; result discarded")
+        except (ServeHTTPError, OSError) as exc:
+            self._log(f"commit failed for {job_key[:12]}: {exc}")
+
+    def _heartbeat(self, job_key: str, token: int, lease_s: float,
+                   stop: threading.Event) -> None:
+        interval = max(lease_s / 3.0, 0.05)
+        while not stop.wait(interval):
+            try:
+                self.client.heartbeat(job_key, token, self.worker_id)
+            except StaleLeaseError:
+                return  # lease gone; commit will be fenced anyway
+            except (ServeHTTPError, OSError):
+                continue  # transient; keep beating
+
+    def _kill_hook(self) -> Optional[Callable[[int], None]]:
+        if not self.kill_after_boundaries:
+            return None
+        crossed = {"n": 0}
+
+        def hook(boundary: int) -> None:
+            crossed["n"] += 1
+            if crossed["n"] >= self.kill_after_boundaries:
+                # Die the hard way, mid-job, strictly between durable
+                # checkpoints — no cleanup, no failure report, exactly
+                # like a pulled power cord.
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        return hook
+
+
+def spawn_worker(server_url: str, index: int = 0,
+                 kill_after_boundaries: int = 0,
+                 poll_s: float = 0.2,
+                 exit_on_drain: bool = True,
+                 verbose: bool = False) -> subprocess.Popen:
+    """Start one worker subprocess attached to ``server_url``."""
+    argv = [sys.executable, "-m", "repro.serve.worker",
+            "--server", server_url, "--id", f"worker-{index}-{os.getpid()}",
+            "--poll-s", str(poll_s)]
+    if exit_on_drain:
+        argv.append("--exit-on-drain")
+    if kill_after_boundaries:
+        argv += ["--kill-after-boundaries", str(kill_after_boundaries)]
+    if verbose:
+        argv.append("--verbose")
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(argv, env=env)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-worker",
+        description="One simulation worker attached to a repro-serve "
+                    "service.")
+    parser.add_argument("--server", required=True,
+                        help="service base URL, e.g. http://127.0.0.1:8642")
+    parser.add_argument("--id", default=None, help="worker id")
+    parser.add_argument("--poll-s", type=float, default=0.2,
+                        help="idle poll interval")
+    parser.add_argument("--max-jobs", type=int, default=0,
+                        help="exit after this many jobs (0 = forever)")
+    parser.add_argument("--exit-on-drain", action="store_true",
+                        help="exit when the service is draining and idle")
+    parser.add_argument("--kill-after-boundaries", type=int, default=0,
+                        help="crash-testing hook: SIGKILL self at the "
+                             "Nth checkpoint boundary of a leased run")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    worker = Worker(args.server, worker_id=args.id, poll_s=args.poll_s,
+                    max_jobs=args.max_jobs,
+                    exit_on_drain=args.exit_on_drain,
+                    kill_after_boundaries=args.kill_after_boundaries,
+                    verbose=args.verbose)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

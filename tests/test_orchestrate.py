@@ -232,7 +232,8 @@ class TestOrchestratorSerial:
         sink = tmp_path / "events.jsonl"
         kinds = [json.loads(line)["kind"]
                  for line in sink.read_text().splitlines()]
-        assert kinds == ["queued", "started", "finished"]
+        assert kinds == ["queued", "started", "finished",
+                         "cache_stats"]
 
 
 class TestOrchestratorParallel:
@@ -500,3 +501,141 @@ class TestQuarantine:
         batch = Orchestrator(run_fn=invariant_run,
                              quarantine_after=0).run(specs)
         assert [r.kind for r in batch.results] == ["invariant"] * 3
+
+
+class TestEventLogReader:
+    """tail_events/read_events: the torn-tail-tolerant JSONL reader."""
+
+    def _log(self, tmp_path, lines, torn=None):
+        path = tmp_path / "events.jsonl"
+        text = "".join(json.dumps(line) + "\n" for line in lines)
+        if torn is not None:
+            text += torn  # no trailing newline: a crash mid-append
+        path.write_text(text)
+        return str(path)
+
+    def test_torn_final_line_is_skipped_not_raised(self, tmp_path):
+        from repro.orchestrate.events import read_events, tail_events
+        path = self._log(tmp_path,
+                         [{"kind": "queued", "job_key": "a"},
+                          {"kind": "started", "job_key": "a"}],
+                         torn='{"kind": "finis')
+        events = read_events(path)
+        assert [e["kind"] for e in events] == ["queued", "started"]
+        # The torn fragment is not consumed: once its newline lands the
+        # next tail call returns it.
+        events, offset, skipped = tail_events(path)
+        assert skipped == 0
+        with open(path, "a") as handle:
+            handle.write('hed", "job_key": "a"}\n')
+        more, offset2, skipped = tail_events(path, offset)
+        assert [e["kind"] for e in more] == ["finished"]
+        assert offset2 > offset and skipped == 0
+
+    def test_interleaved_garbage_line_is_counted_not_raised(self, tmp_path):
+        from repro.orchestrate.events import tail_events
+        # A crash-torn fragment that a *restarted* writer appended
+        # after: the merged line is complete but unparseable.
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "que{"kind": "started", "job_key": "a"}\n'
+                        '{"kind": "finished", "job_key": "a"}\n')
+        events, _, skipped = tail_events(str(path))
+        assert [e["kind"] for e in events] == ["finished"]
+        assert skipped == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        from repro.orchestrate.events import tail_events
+        assert tail_events(str(tmp_path / "nope.jsonl")) == ([], 0, 0)
+
+    def test_incremental_offsets_resume_across_calls(self, tmp_path):
+        from repro.orchestrate.events import tail_events
+        path = self._log(tmp_path, [{"n": i} for i in range(5)])
+        first, offset, _ = tail_events(path)
+        assert len(first) == 5
+        again, offset2, _ = tail_events(path, offset)
+        assert again == [] and offset2 == offset
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"n": 5}) + "\n")
+        more, _, _ = tail_events(path, offset)
+        assert more == [{"n": 5}]
+
+
+class TestCacheCounters:
+    """Hit/miss/quarantine counters: dedup observability (satellite)."""
+
+    def test_counters_track_lookups(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = spec_for()
+        assert cache.get(spec) is None
+        assert cache.counters["miss"] == 1
+        cache.put(spec, fake_run(spec.to_dict()))
+        assert cache.counters["put"] == 1
+        assert cache.get(spec) is not None
+        assert cache.counters["hit"] == 1
+
+    def test_quarantine_counted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = spec_for()
+        cache.put(spec, fake_run(spec.to_dict()))
+        path = cache.path_for(spec.job_key())
+        with open(path, "w") as handle:
+            handle.write("{ torn")
+        assert cache.get(spec) is None
+        assert cache.counters["quarantined"] == 1
+        assert cache.counters["miss"] == 1
+
+    def test_scheduler_emits_cache_stats_event(self, tmp_path):
+        batch = run_batch([spec_for()], cache_dir=str(tmp_path),
+                          run_fn=fake_run)
+        (stats,) = batch.events.of_kind("cache_stats")
+        assert stats.detail["miss"] == 1 and stats.detail["put"] == 1
+        second = run_batch([spec_for()], cache_dir=str(tmp_path),
+                           run_fn=fake_run)
+        (stats,) = second.events.of_kind("cache_stats")
+        assert stats.detail["hit"] == 1
+
+
+class TestInspectJson:
+    """inspect --json shares its formatter with the serve status API."""
+
+    def test_inspect_json_matches_shared_formatter(self, tmp_path, capsys):
+        from repro.orchestrate.status import job_status_entry
+        cache_dir = str(tmp_path / "cache")
+        batch_path = str(tmp_path / "batch.json")
+        spec = spec_for()
+        run_batch([spec], cache_dir=cache_dir, run_fn=fake_run)
+        from repro.orchestrate.cli import save_batch
+        save_batch(batch_path, [spec, spec_for(seed=9)])
+        assert main(["inspect", batch_path, "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 2 and doc["cached"] == 1
+        assert doc["cache_counters"]["hit"] == 1
+        cached = [j for j in doc["jobs"] if j["cached"]]
+        missing = [j for j in doc["jobs"] if not j["cached"]]
+        assert len(cached) == 1 and len(missing) == 1
+        # Byte-for-byte the shared formatter's output for the hit...
+        expected = job_status_entry(spec, ResultCache(cache_dir).get(spec))
+        assert cached[0] == expected
+        assert cached[0]["result"]["cycles"] == 101
+        # ...and the failure histogram came through the tolerant reader.
+        assert "failure_classes" in doc
+
+    def test_inspect_json_whole_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path)
+        run_batch([spec_for(), spec_for(seed=2)], cache_dir=cache_dir,
+                  run_fn=fake_run)
+        assert main(["inspect", "--cache-dir", cache_dir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 2
+        assert {j["spec"]["seed"] for j in doc["jobs"]} == {1, 2}
+
+    def test_inspect_json_to_file(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        out = str(tmp_path / "status.json")
+        run_batch([spec_for()], cache_dir=cache_dir, run_fn=fake_run)
+        assert main(["inspect", "--cache-dir", cache_dir,
+                     "--json", out]) == 0
+        with open(out) as handle:
+            doc = json.load(handle)
+        assert doc["total"] == 1
