@@ -1,0 +1,114 @@
+"""Engine perf-trajectory cases, exercised under pytest.
+
+``repro-bench`` is the CLI face of the trajectory; this module is the
+test-suite face of the same matrix. It asserts the properties the
+committed baseline (``results/BENCH_engine.json``) depends on:
+
+* every standard case runs and reports sane numbers;
+* repeats are deterministic (cycles/events identical run-to-run);
+* the deterministic fields match the committed baseline **exactly** —
+  they are machine-independent, so this check is as strong on a laptop
+  as in CI, and it is the check that makes the perf trajectory
+  trustworthy (throughput comparisons are meaningless when the work
+  changed underneath them);
+* the compare gate fails when it should (injected slowdown) and only
+  then.
+
+Set ``REPRO_BENCH_OUT=/path/doc.json`` to also emit a fresh BENCH
+document while the tests run (used by the CI bench-trajectory job's
+artifact upload; ``repro-bench run --out`` is the standalone way).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import (DEFAULT_CASES, bench_doc, compare_benches,
+                         load_bench, run_case, save_bench,
+                         validate_bench)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "results", "BENCH_engine.json")
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Run the whole matrix once (module-scoped: it is the expensive
+    part) and optionally emit the document for artifact upload."""
+    results = [run_case(case, iters=1) for case in DEFAULT_CASES]
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        save_bench(out, bench_doc("engine", results, iters=1))
+    return {case["name"]: case for case in results}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not os.path.exists(BASELINE_PATH):
+        pytest.skip("no committed baseline yet")
+    return load_bench(BASELINE_PATH)
+
+
+@pytest.mark.parametrize("case", DEFAULT_CASES, ids=lambda c: c.name)
+def test_case_reports_sane_numbers(case, measured):
+    got = measured[case.name]
+    assert got["cycles"] > 0
+    assert got["events"] > 0
+    assert got["wall_s"] > 0
+    assert got["cycles_per_s"] > 0
+    assert got["protocol"] == case.protocol
+    assert got["cores"] == case.cores
+
+
+def test_repeats_are_deterministic():
+    """run_case itself asserts across-repeat determinism; two separate
+    invocations must agree on the deterministic fields too."""
+    case = DEFAULT_CASES[0]
+    first = run_case(case, iters=1)
+    second = run_case(case, iters=2)
+    assert (first["cycles"], first["events"]) == \
+           (second["cycles"], second["events"])
+
+
+def test_matches_committed_baseline(measured, baseline):
+    """The committed deterministic fields reproduce exactly, anywhere."""
+    base = {c["name"]: c for c in baseline["cases"]}
+    assert set(base) == set(measured)
+    for name, case in measured.items():
+        assert (case["cycles"], case["events"]) == \
+               (base[name]["cycles"], base[name]["events"]), (
+            f"{name}: deterministic outputs diverged from the committed "
+            f"baseline — regenerate results/BENCH_engine.json if this "
+            f"is an intentional engine change")
+
+
+def test_baseline_document_valid(baseline):
+    assert validate_bench(baseline) == []
+    assert baseline["suite"] == "engine"
+    # A committed baseline must never carry an injected slowdown.
+    assert "handicap" not in baseline
+
+
+def test_compare_gate_detects_injected_slowdown(baseline):
+    slow = {**baseline,
+            "cases": [{**c, "cycles_per_s": c["cycles_per_s"] * 0.1,
+                       "events_per_s": c["events_per_s"] * 0.1}
+                      for c in baseline["cases"]]}
+    ok, verdicts = compare_benches(baseline, slow, max_regression=0.5)
+    assert not ok
+    assert all(v.status == "perf_regression" for v in verdicts)
+
+
+def test_compare_gate_flags_behavior_change(baseline):
+    changed = {**baseline,
+               "cases": [{**c, "cycles": c["cycles"] + 1}
+                         for c in baseline["cases"]]}
+    ok, verdicts = compare_benches(baseline, changed)
+    assert not ok
+    assert all(v.status == "behavior_change" for v in verdicts)
+
+
+def test_compare_gate_passes_identity(baseline):
+    ok, verdicts = compare_benches(baseline, baseline)
+    assert ok
+    assert all(v.status == "ok" and v.ratio == 1.0 for v in verdicts)

@@ -1,0 +1,31 @@
+"""Perf-trajectory benchmarking: one BENCH JSON schema, committed
+baselines, and a regression gate.
+
+The engine-overhaul roadmap item needs a *trajectory*: every PR that
+touches the hot path should be able to say "cycles/sec went from X to
+Y on the same cases" against a committed baseline, and CI should fail
+when a change slows the simulator past a threshold. This package is
+that harness:
+
+* :mod:`repro.bench.schema` — the BENCH JSON document every bench
+  emits (suite, environment, per-case workload/protocol/cycles/sec);
+* :mod:`repro.bench.cases` — the standard case matrix, run directly on
+  the :class:`~repro.core.machine.Machine` with best-of-N wall timing;
+* :mod:`repro.bench.compare` — baseline vs candidate: deterministic
+  fields (cycles, events) must match **exactly** — the simulator is
+  deterministic, so a mismatch is a correctness change wearing a perf
+  costume — while throughput is gated by a generous ratio threshold;
+* :mod:`repro.bench.cli` — ``repro-bench run/compare/list``.
+"""
+
+from repro.bench.cases import BenchCase, DEFAULT_CASES, run_case, run_cases
+from repro.bench.compare import CaseComparison, compare_benches
+from repro.bench.schema import (BENCH_VERSION, bench_doc, load_bench,
+                                save_bench, validate_bench)
+
+__all__ = [
+    "BenchCase", "DEFAULT_CASES", "run_case", "run_cases",
+    "CaseComparison", "compare_benches",
+    "BENCH_VERSION", "bench_doc", "load_bench", "save_bench",
+    "validate_bench",
+]

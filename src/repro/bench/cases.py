@@ -1,0 +1,123 @@
+"""The standard bench case matrix and its runner.
+
+Cases run the :class:`~repro.core.machine.Machine` directly — no
+telemetry, no checkpointing, no orchestration — because the number the
+trajectory tracks is the *engine's* throughput, and every layer on top
+has its own bench. Timing is best-of-N wall clock (minimum sheds
+scheduler noise better than the mean on a busy CI host); the
+deterministic outputs (simulated cycles, engine events executed) are
+asserted identical across the N repeats before they are reported,
+which turns every bench run into a free determinism check.
+
+The matrix deliberately mirrors the paper's protagonists: the callback
+protocol (CB-One) and the invalidation baseline, over lock, barrier,
+and signal/wait synchronization — the hot paths the engine-overhaul
+roadmap item will rework.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import config_for
+from repro.core.machine import Machine
+from repro.orchestrate.registry import build_workload
+
+__all__ = ["BenchCase", "DEFAULT_CASES", "run_case", "run_cases"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One point of the trajectory: workload x protocol x machine."""
+
+    name: str
+    workload: str                    # registry spec name
+    params: Tuple[Tuple[str, Any], ...]  # workload params, hashable form
+    protocol: str                    # config label (CB-One, Invalidation)
+    cores: int = 16
+    seed: int = 1
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+def _case(name: str, workload: str, params: Dict[str, Any],
+          protocol: str, cores: int = 16, seed: int = 1) -> BenchCase:
+    return BenchCase(name=name, workload=workload,
+                     params=tuple(sorted(params.items())),
+                     protocol=protocol, cores=cores, seed=seed)
+
+
+#: The committed trajectory matrix (results/BENCH_engine.json tracks it).
+DEFAULT_CASES: Tuple[BenchCase, ...] = (
+    _case("lock_ttas_cb", "lock",
+          {"lock_name": "ttas", "iterations": 5}, "CB-One"),
+    _case("lock_ttas_inv", "lock",
+          {"lock_name": "ttas", "iterations": 5}, "Invalidation"),
+    _case("barrier_sr_cb", "barrier",
+          {"barrier_name": "sr", "episodes": 4}, "CB-One"),
+    _case("signal_wait_cb", "signal_wait",
+          {"rounds": 6}, "CB-One"),
+    _case("task_queue_cb", "task_queue",
+          {"tasks": 24}, "CB-One"),
+)
+
+
+def run_case(case: BenchCase, iters: int = 3,
+             handicap: float = 0.0) -> Dict[str, Any]:
+    """Measure one case: best-of-``iters`` wall time plus the exact
+    deterministic outputs.
+
+    ``handicap`` (testing hook, surfaced in the document) inflates the
+    recorded wall time by the given factor — a deterministic injected
+    slowdown for exercising the regression gate without a sleep.
+    """
+    if iters < 1:
+        raise ValueError("iters must be >= 1")
+    best = float("inf")
+    cycles: Optional[int] = None
+    events: Optional[int] = None
+    for _ in range(iters):
+        config = config_for(case.protocol, seed=case.seed,
+                            num_cores=case.cores)
+        workload = build_workload(case.workload, case.params_dict())
+        machine = Machine(config)
+        workload.install(machine)
+        t0 = time.perf_counter()
+        stats = machine.run()
+        wall = time.perf_counter() - t0
+        best = min(best, wall)
+        if cycles is None:
+            cycles, events = stats.cycles, machine.events_executed
+        elif (cycles, events) != (stats.cycles, machine.events_executed):
+            raise AssertionError(
+                f"{case.name}: non-deterministic repeat "
+                f"({cycles}/{events} then {stats.cycles}/"
+                f"{machine.events_executed})")
+    wall_s = best * (1.0 + handicap)
+    return {
+        "name": case.name,
+        "workload": case.workload,
+        "params": case.params_dict(),
+        "protocol": case.protocol,
+        "cores": case.cores,
+        "seed": case.seed,
+        "cycles": int(cycles or 0),
+        "events": int(events or 0),
+        "wall_s": round(wall_s, 6),
+        "cycles_per_s": round((cycles or 0) / wall_s, 1) if wall_s else 0,
+        "events_per_s": round((events or 0) / wall_s, 1) if wall_s else 0,
+    }
+
+
+def run_cases(cases: Sequence[BenchCase] = DEFAULT_CASES,
+              iters: int = 3, handicap: float = 0.0,
+              progress=None) -> List[Dict[str, Any]]:
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(case)
+        results.append(run_case(case, iters=iters, handicap=handicap))
+    return results

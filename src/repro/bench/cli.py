@@ -1,0 +1,147 @@
+"""``repro-bench`` — the perf-trajectory harness.
+
+Usage::
+
+    # Measure the standard matrix, write a BENCH document.
+    repro-bench run --out BENCH_now.json
+
+    # The CI gate: measure, compare against the committed baseline,
+    # exit non-zero on a regression (or a silent behavior change).
+    repro-bench run --compare results/BENCH_engine.json \\
+        --max-regression 0.8 --out BENCH_now.json
+
+    # Compare two existing documents without re-measuring.
+    repro-bench compare results/BENCH_engine.json BENCH_now.json
+
+    # What would run?
+    repro-bench list
+
+Regenerating the committed baseline after an intentional change::
+
+    repro-bench run --iters 5 --out results/BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.cases import DEFAULT_CASES, run_cases
+from repro.bench.compare import compare_benches, format_comparison
+from repro.bench.schema import bench_doc, load_bench, save_bench
+
+__all__ = ["main"]
+
+
+def _select_cases(names: List[str]):
+    if not names:
+        return DEFAULT_CASES
+    by_name = {case.name: case for case in DEFAULT_CASES}
+    missing = [n for n in names if n not in by_name]
+    if missing:
+        raise SystemExit(f"unknown case(s) {missing}; "
+                         f"known: {sorted(by_name)}")
+    return tuple(by_name[n] for n in names)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cases = _select_cases(args.case)
+    results = run_cases(
+        cases, iters=args.iters, handicap=args.handicap,
+        progress=lambda c: print(f"  running {c.name} "
+                                 f"({c.protocol}, {c.cores} cores)...",
+                                 file=sys.stderr, flush=True))
+    doc = bench_doc(args.suite, results, iters=args.iters,
+                    handicap=args.handicap)
+    if args.out:
+        save_bench(args.out, doc)
+        print(f"BENCH document ({len(results)} cases) -> {args.out}",
+              file=sys.stderr)
+    for case in results:
+        print(f"{case['name']:<20} {case['cycles']:>10} cycles  "
+              f"{case['cycles_per_s']:>12,.0f} cycles/s  "
+              f"{case['events_per_s']:>12,.0f} events/s  "
+              f"{case['wall_s'] * 1e3:8.1f} ms")
+    if not args.compare:
+        return 0
+    baseline = load_bench(args.compare)
+    ok, verdicts = compare_benches(baseline, doc,
+                                   max_regression=args.max_regression)
+    print(f"\nvs {args.compare} "
+          f"(rev {baseline.get('env', {}).get('git_rev', '?')}):")
+    for line in format_comparison(verdicts):
+        print(line)
+    if not ok:
+        print("\nREGRESSION GATE FAILED", file=sys.stderr)
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_bench(args.baseline)
+    candidate = load_bench(args.candidate)
+    ok, verdicts = compare_benches(baseline, candidate,
+                                   max_regression=args.max_regression)
+    for line in format_comparison(verdicts):
+        print(line)
+    return 0 if ok else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for case in DEFAULT_CASES:
+        doc = {"workload": case.workload, "params": case.params_dict()}
+        print(f"{case.name:<20} {case.protocol:<14} {case.cores:>3} "
+              f"cores  {json.dumps(doc, sort_keys=True)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Perf-trajectory harness: measure the engine on the "
+                    "standard case matrix, emit BENCH JSON, gate "
+                    "against a committed baseline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="measure and (optionally) gate")
+    run.add_argument("--suite", default="engine")
+    run.add_argument("--case", action="append", default=[],
+                     metavar="NAME", help="run only these cases "
+                     "(repeatable; default: all)")
+    run.add_argument("--iters", type=int, default=3,
+                     help="repeats per case (best-of timing)")
+    run.add_argument("--out", default=None,
+                     help="write the BENCH document here")
+    run.add_argument("--compare", default=None, metavar="BASELINE",
+                     help="gate against this BENCH document; non-zero "
+                          "exit on regression")
+    run.add_argument("--max-regression", type=float, default=0.5,
+                     help="allowed fractional throughput loss before "
+                          "the gate fails (0.5 = fail below half the "
+                          "baseline's cycles/s)")
+    run.add_argument("--handicap", type=float, default=0.0,
+                     help=argparse.SUPPRESS)  # gate-testing hook
+    run.set_defaults(fn=cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="compare two BENCH documents")
+    compare.add_argument("baseline")
+    compare.add_argument("candidate")
+    compare.add_argument("--max-regression", type=float, default=0.5)
+    compare.set_defaults(fn=cmd_compare)
+
+    lst = sub.add_parser("list", help="show the standard case matrix")
+    lst.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

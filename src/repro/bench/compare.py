@@ -1,0 +1,96 @@
+"""Baseline-vs-candidate comparison: the regression gate.
+
+Two different severities, because the two kinds of BENCH number mean
+different things:
+
+* ``cycles`` / ``events`` are **deterministic** — the simulator
+  produces them identically on any machine. A mismatch against the
+  baseline is not a perf regression, it is a *behavior change*, and the
+  gate reports it as such (changed behavior may be intentional; then
+  the baseline is regenerated in the same PR, making the change loud
+  and reviewed instead of silent).
+* ``cycles_per_s`` is **host-dependent**. The gate only fails when the
+  candidate loses more than ``max_regression`` of the baseline's
+  throughput (default 0.5 — generous enough that CI noise and machine
+  differences never flake it, tight enough that an accidental
+  quadratic shows up immediately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["CaseComparison", "compare_benches", "format_comparison"]
+
+
+@dataclass
+class CaseComparison:
+    """One case's verdict."""
+
+    name: str
+    status: str          # ok | perf_regression | behavior_change |
+                         # missing | new
+    ratio: float = 1.0   # candidate / baseline cycles_per_s
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("perf_regression", "behavior_change",
+                               "missing")
+
+
+def compare_benches(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                    max_regression: float = 0.5
+                    ) -> Tuple[bool, List[CaseComparison]]:
+    """Compare two BENCH documents; returns ``(ok, per-case verdicts)``."""
+    if not 0.0 < max_regression < 1.0:
+        raise ValueError("max_regression must be in (0, 1)")
+    floor = 1.0 - max_regression
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    cand_cases = {c["name"]: c for c in candidate.get("cases", [])}
+    verdicts: List[CaseComparison] = []
+    for name, base in base_cases.items():
+        cand = cand_cases.get(name)
+        if cand is None:
+            verdicts.append(CaseComparison(
+                name, "missing", 0.0,
+                "case present in baseline but not in candidate"))
+            continue
+        if (int(cand["cycles"]), int(cand["events"])) != \
+                (int(base["cycles"]), int(base["events"])):
+            verdicts.append(CaseComparison(
+                name, "behavior_change", 0.0,
+                f"deterministic outputs changed: cycles "
+                f"{base['cycles']} -> {cand['cycles']}, events "
+                f"{base['events']} -> {cand['events']} (regenerate the "
+                f"baseline if intentional)"))
+            continue
+        base_tp = float(base["cycles_per_s"]) or 1e-9
+        ratio = float(cand["cycles_per_s"]) / base_tp
+        if ratio < floor:
+            verdicts.append(CaseComparison(
+                name, "perf_regression", ratio,
+                f"{cand['cycles_per_s']:.0f} cycles/s vs baseline "
+                f"{base['cycles_per_s']:.0f} ({ratio:.2f}x < "
+                f"{floor:.2f}x floor)"))
+        else:
+            verdicts.append(CaseComparison(name, "ok", ratio))
+    for name in cand_cases:
+        if name not in base_cases:
+            verdicts.append(CaseComparison(
+                name, "new", 1.0, "not in baseline (informational)"))
+    ok = not any(v.failed for v in verdicts)
+    return ok, verdicts
+
+
+def format_comparison(verdicts: Sequence[CaseComparison]) -> List[str]:
+    lines = []
+    for v in sorted(verdicts, key=lambda v: (not v.failed, v.name)):
+        mark = "FAIL" if v.failed else ("new " if v.status == "new"
+                                        else "ok  ")
+        line = f"{mark} {v.name:<20} {v.ratio:>6.2f}x"
+        if v.detail:
+            line += f"  {v.detail}"
+        lines.append(line)
+    return lines

@@ -1,0 +1,132 @@
+"""The BENCH JSON document: one schema for every perf artifact.
+
+A BENCH document is self-describing enough to be compared months later
+on a different machine: it records the environment (python, platform,
+git revision) next to the numbers, and it separates the two kinds of
+number a simulator bench produces —
+
+* **deterministic** fields (``cycles``, ``events``) that must reproduce
+  exactly anywhere, because the simulator is deterministic; and
+* **host-dependent** fields (``wall_s``, ``cycles_per_s``,
+  ``events_per_s``) that only compare meaningfully against a baseline
+  from a similar machine, which is why the compare gate's perf
+  threshold is deliberately generous while its determinism check is
+  exact.
+
+Documents are written with the repo's atomic-write discipline and
+validated on load — a bench gate that silently reads a torn or
+half-schema'd baseline would pass exactly when it should fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.ioutil import atomic_write_json
+
+__all__ = ["BENCH_VERSION", "bench_doc", "environment", "git_revision",
+           "load_bench", "save_bench", "validate_bench"]
+
+#: Format version of the BENCH document.
+BENCH_VERSION = 1
+
+#: Per-case fields every document must carry.
+_CASE_REQUIRED = ("name", "workload", "protocol", "cores", "seed",
+                  "cycles", "events", "wall_s", "cycles_per_s",
+                  "events_per_s")
+
+
+def git_revision(repo_dir: Optional[str] = None) -> str:
+    """Short git revision of ``repo_dir`` (default: this package's
+    repo), or ``"unknown"`` outside a work tree."""
+    if repo_dir is None:
+        repo_dir = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment() -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_rev": git_revision(),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }
+
+
+def bench_doc(suite: str, cases: Sequence[Dict[str, Any]],
+              iters: int, handicap: float = 0.0) -> Dict[str, Any]:
+    """Assemble a complete BENCH document around measured cases."""
+    doc: Dict[str, Any] = {
+        "kind": "BENCH",
+        "version": BENCH_VERSION,
+        "suite": suite,
+        "created_unix": time.time(),
+        "iters": iters,
+        "env": environment(),
+        "cases": [dict(case) for case in cases],
+    }
+    if handicap:
+        # An injected slowdown is an honest document's loudest field.
+        doc["handicap"] = handicap
+    return doc
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """Schema problems (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("kind") != "BENCH":
+        problems.append(f"kind is {doc.get('kind')!r}, wanted 'BENCH'")
+    if not isinstance(doc.get("version"), int):
+        problems.append("missing integer 'version'")
+    if not doc.get("suite"):
+        problems.append("missing 'suite'")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return problems + ["missing non-empty 'cases' list"]
+    seen = set()
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict):
+            problems.append(f"case[{i}] is not an object")
+            continue
+        for field in _CASE_REQUIRED:
+            if field not in case:
+                problems.append(f"case[{i}] missing {field!r}")
+        name = case.get("name")
+        if name in seen:
+            problems.append(f"duplicate case name {name!r}")
+        seen.add(name)
+    return problems
+
+
+def save_bench(path: str, doc: Dict[str, Any]) -> None:
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError("refusing to write invalid BENCH doc: "
+                         + "; ".join(problems))
+    atomic_write_json(path, doc, durable=False, indent=2)
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError(f"{path}: invalid BENCH doc: "
+                         + "; ".join(problems))
+    return doc

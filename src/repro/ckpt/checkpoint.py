@@ -44,6 +44,7 @@ from repro.sim.engine import (DeadlockError, LivenessError, SimulationError,
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ckpt.store import CheckpointStore
+    from repro.obs.flight import FlightRecorder
     from repro.obs.telemetry import Telemetry
     from repro.resilience.faults import FaultPlan
     from repro.resilience.resilience import Resilience
@@ -252,6 +253,7 @@ class Checkpointer:
                  resilience: Optional["Resilience"] = None,
                  workload: Optional["Workload"] = None,
                  boundary_hook: Optional[Callable[[int], None]] = None,
+                 flight: Optional["FlightRecorder"] = None,
                  ) -> None:
         if every <= 0:
             raise ValueError("checkpoint period must be positive")
@@ -267,6 +269,10 @@ class Checkpointer:
         self.resilience = resilience
         self.workload = workload
         self.boundary_hook = boundary_hook
+        #: Optional host-domain flight recorder whose snapshot joins the
+        #: black-box payload (what was the *fleet* doing when this run
+        #: deadlocked?).
+        self.flight = flight
         self.machine: Optional[Machine] = None
         #: Boundary cycle this run resumed from, or None (fresh start).
         self.resumed_from: Optional[int] = None
@@ -365,5 +371,7 @@ class Checkpointer:
             "diagnosis": (diagnosis.as_dict()
                           if diagnosis is not None else None),
         }
+        if self.flight is not None:
+            payload["flight"] = self.flight.payload()
         self.store.save_blackbox(self.job_key, payload)
         return payload

@@ -7,11 +7,16 @@ Perfetto export + host profiler. See docs/observability.md.
 from repro.obs.bus import ProbeBus
 from repro.obs.export import (chrome_trace, trace_events_to_spans,
                               validate_chrome_trace, write_chrome_trace)
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import HostProfiler, component_label
+from repro.obs.promtext import (Family, histogram_family,
+                                parse_prometheus, render_prometheus)
 from repro.obs.sampler import DEFAULT_COUNTERS, TimeSeriesSampler
 from repro.obs.spans import Instant, Span, SpanRecorder, load_spans
 from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.obs.tracectx import (HostSpan, HostSpanLog, TraceContext,
+                                mint_trace_id, stitch_trace)
 
 __all__ = [
     "ProbeBus", "MetricsRegistry", "Counter", "Gauge", "Histogram",
@@ -19,4 +24,7 @@ __all__ = [
     "Instant", "load_spans", "chrome_trace", "write_chrome_trace",
     "trace_events_to_spans", "validate_chrome_trace", "HostProfiler",
     "component_label", "Telemetry", "TelemetryConfig",
+    "FlightRecorder", "Family", "render_prometheus", "histogram_family",
+    "parse_prometheus", "HostSpan", "HostSpanLog", "TraceContext",
+    "mint_trace_id", "stitch_trace",
 ]

@@ -179,6 +179,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(profiler.as_dict(), handle, indent=2, sort_keys=True)
         print(f"profile written to {args.json}")
+    if args.collapsed:
+        count = profiler.write_collapsed(args.collapsed)
+        print(f"{count} collapsed-stack lines -> {args.collapsed} "
+              f"(feed to flamegraph.pl or https://speedscope.app)")
     return 0
 
 
@@ -251,6 +255,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="components to show")
     profile.add_argument("--json", default=None,
                          help="write the full profile as JSON")
+    profile.add_argument("--collapsed", default=None, metavar="FILE",
+                         help="write flamegraph-compatible collapsed "
+                              "stacks (component;method microseconds)")
     profile.set_defaults(fn=cmd_profile)
 
     args = parser.parse_args(argv)

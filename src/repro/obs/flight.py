@@ -1,0 +1,70 @@
+"""Flight recorder: the last N host-domain events, always on, O(1) RAM.
+
+A bounded ring of recent queue/scheduler/worker events. It costs one
+deque append per event regardless of uptime, so the service keeps it
+running permanently; when something dies — a run fails terminally, the
+liveness watchdog trips, a worker crashes mid-attempt — the ring's
+snapshot is attached to the failure payload, answering "what was the
+system doing in the seconds before?" without grepping gigabytes of
+event log.
+
+Two consumers:
+
+* :class:`~repro.serve.queue.JobQueue` mirrors every queue event into
+  its ring and dumps a snapshot to ``<root>/flight/<job_key>.json`` on
+  a terminal failure (also served at ``GET /v1/flight``);
+* the worker keeps its own ring of lease/heartbeat/execute events and
+  hands it to the :class:`~repro.ckpt.checkpoint.Checkpointer`, which
+  folds the snapshot into the black-box payload it persists when a
+  deadlock/livelock/timeout fires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of timestamped event dicts."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: Events that fell off the ring (total recorded - retained).
+        self.dropped = 0
+
+    def record(self, kind: str, **detail: Any) -> Dict[str, Any]:
+        entry = {"kind": kind, "t_wall": time.time(), **detail}
+        with self._lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(entry)
+        return entry
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (copies, safe to mutate)."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def payload(self) -> Dict[str, Any]:
+        """The snapshot plus loss accounting, ready to attach to a
+        failure document."""
+        with self._lock:
+            return {"capacity": self.capacity, "recorded": self._seq,
+                    "dropped": self.dropped,
+                    "events": [dict(entry) for entry in self._ring]}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -102,6 +102,33 @@ class HostProfiler:
         return {label: {"calls": calls, "seconds": seconds}
                 for label, calls, seconds in self.by_component()}
 
+    def collapsed(self, scale: float = 1e6) -> List[str]:
+        """The profile as collapsed-stack lines — the flamegraph.pl /
+        speedscope / inferno input format: ``frame;frame value``.
+
+        Each component label ``module:qualname`` becomes a two-frame
+        stack (module, then qualname) so the flamegraph groups hot
+        methods under their module; values are host time scaled by
+        ``scale`` (default microseconds) and rounded to integers, with
+        sub-unit components dropped (a zero-weight line is noise).
+        """
+        lines = []
+        for label, _, seconds in self.by_component():
+            module, _, qualname = label.partition(":")
+            value = int(round(seconds * scale))
+            if value <= 0:
+                continue
+            lines.append(f"{module};{qualname or '?'} {value}")
+        return lines
+
+    def write_collapsed(self, path: str, scale: float = 1e6) -> int:
+        """Write :meth:`collapsed` lines to ``path``; returns how many."""
+        lines = self.collapsed(scale)
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
     def report(self, top: int = 20) -> str:
         """An aligned table of the ``top`` most expensive components."""
         rows = self.by_component()[:top]

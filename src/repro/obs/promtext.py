@@ -1,0 +1,202 @@
+"""Prometheus text exposition (version 0.0.4) without dependencies.
+
+The service's ``GET /metrics`` endpoint renders through this module: a
+tiny family model (:class:`Family` with typed samples), an escaper that
+follows the exposition-format rules, a converter from the telemetry
+layer's power-of-two :class:`~repro.obs.metrics.Histogram` to
+Prometheus' cumulative-bucket convention, and — because a scrape you
+cannot parse is a scrape you cannot trust — :func:`parse_prometheus`,
+the round-trip reader the tests and CI gate on.
+
+Everything here is pure formatting; building the families from live
+queue state lives with the state (:meth:`repro.serve.queue.JobQueue
+.prometheus_families`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["Family", "render_prometheus", "histogram_family",
+           "parse_prometheus", "escape_label_value"]
+
+_TYPES = ("counter", "gauge", "histogram", "untyped")
+
+
+def escape_label_value(value: Any) -> str:
+    """Backslash, double-quote, and newline escapes per the format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(v)}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Family:
+    """One metric family: name, type, help, and its samples.
+
+    ``samples`` rows are ``(suffix, labels, value)`` — the suffix is
+    empty for plain counters/gauges and ``_bucket``/``_sum``/``_count``
+    for histogram series.
+    """
+
+    def __init__(self, name: str, kind: str, help_text: str = "") -> None:
+        if kind not in _TYPES:
+            raise ValueError(f"unknown metric type {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: List[Tuple[str, Dict[str, Any], float]] = []
+
+    def add(self, value: float, suffix: str = "",
+            **labels: Any) -> "Family":
+        self.samples.append((suffix, dict(labels), float(value)))
+        return self
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help_text:
+            escaped = self.help_text.replace("\\", "\\\\") \
+                                    .replace("\n", "\\n")
+            lines.append(f"# HELP {self.name} {escaped}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for suffix, labels, value in self.samples:
+            lines.append(f"{self.name}{suffix}{_labels_text(labels)} "
+                         f"{_format_value(value)}")
+        return lines
+
+
+def render_prometheus(families: Sequence[Family]) -> str:
+    """The full exposition body (trailing newline included)."""
+    lines: List[str] = []
+    for family in families:
+        if not family.samples:
+            continue
+        lines.extend(family.render())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def histogram_family(name: str, help_text: str, hist: Histogram,
+                     **labels: Any) -> Family:
+    """A telemetry pow2 :class:`Histogram` as a Prometheus histogram.
+
+    Bucket ``i`` of the source counts samples in ``[2**i, 2**(i+1))``,
+    so the cumulative upper bound of bucket ``i`` is ``2**(i+1)`` —
+    each emitted ``le`` is exact, not approximated.
+    """
+    family = Family(name, "histogram", help_text)
+    cumulative = 0
+    for index, count in enumerate(hist.buckets):
+        cumulative += count
+        family.add(cumulative, suffix="_bucket",
+                   le=_format_value(float(2 ** (index + 1))), **labels)
+    family.add(hist.count, suffix="_bucket", le="+Inf", **labels)
+    family.add(hist.total, suffix="_sum", **labels)
+    family.add(hist.count, suffix="_count", **labels)
+    return family
+
+
+# --------------------------------------------------------------- parsing
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().strip(",")
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {text[eq:]!r}")
+        j = eq + 2
+        value = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                nxt = text[j + 1]
+                value.append({"n": "\n", "\\": "\\", '"': '"'}
+                             .get(nxt, nxt))
+                j += 2
+            else:
+                value.append(text[j])
+                j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse an exposition body into ``{family: {"type", "help",
+    "samples": {(name, labels-tuple): value}}}``.
+
+    Strict enough to catch real formatting bugs (bad escapes, unparsable
+    values, samples under no family name) — it raises ``ValueError``
+    rather than skipping — which is exactly what the scrape tests want.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> Optional[Dict[str, Any]]:
+        for suffix in ("", "_bucket", "_sum", "_count", "_total"):
+            base = sample_name[:-len(suffix)] if suffix else sample_name
+            if suffix and not sample_name.endswith(suffix):
+                continue
+            if base in families:
+                return families[base]
+        return None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": "untyped", "help": "",
+                                       "samples": {}})
+            families[name]["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind.strip() not in _TYPES:
+                raise ValueError(f"bad TYPE line: {raw!r}")
+            families.setdefault(name, {"type": "untyped", "help": "",
+                                       "samples": {}})
+            families[name]["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        # A sample line: name{labels} value [timestamp]
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            rest = line[close + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = {}
+        value_text = rest.split()[0]
+        value = float({"+Inf": "inf", "-Inf": "-inf",
+                       "NaN": "nan"}.get(value_text, value_text))
+        family = family_of(name)
+        if family is None:
+            raise ValueError(f"sample {name!r} precedes its TYPE line")
+        family["samples"][(name, tuple(sorted(labels.items())))] = value
+    return families

@@ -40,7 +40,7 @@ from repro.orchestrate.jobspec import JobSpec
 from repro.orchestrate.scheduler import BatchResult, Orchestrator
 from repro.orchestrate.registry import workload_spec_names
 from repro.orchestrate.status import (batch_status, cache_status,
-                                      failure_histogram)
+                                      failure_histogram, gauge_lines)
 
 #: Maps a CLI spec's ``name:detail`` shorthand to the param it sets.
 _DETAIL_PARAM = {"app": "name", "lock": "lock_name", "barrier":
@@ -179,9 +179,9 @@ def _summarize_failures(cache_dir: str) -> None:
 
 
 def _counters_line(cache: ResultCache) -> str:
-    c = cache.counters
-    return (f"cache lookups: {c['hit']} hit, {c['miss']} miss, "
-            f"{c['quarantined']} quarantined")
+    # Same renderer the service's status command uses (gauge_lines).
+    (line,) = gauge_lines({"cache": dict(cache.counters)})
+    return line
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:

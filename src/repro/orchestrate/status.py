@@ -53,6 +53,39 @@ def job_status_entry(spec: JobSpec,
     return entry
 
 
+def gauge_lines(doc: Dict[str, Any]) -> List[str]:
+    """Human-readable gauge lines shared by ``repro-orchestrate`` and
+    ``repro-serve status`` — cache hit/miss/quarantine, per-tenant
+    backlog, oldest-lease age, failure classes. Keys a caller's status
+    document lacks are simply skipped, so the batch CLI and the service
+    feed their native documents through the same formatter (and the two
+    renderings can't drift)."""
+    lines: List[str] = []
+    cache = doc.get("cache") or doc.get("cache_counters") or {}
+    if cache:
+        lines.append(f"cache lookups: {cache.get('hit', 0)} hit, "
+                     f"{cache.get('miss', 0)} miss, "
+                     f"{cache.get('quarantined', 0)} quarantined")
+    for tenant, stats in sorted((doc.get("tenants") or {}).items()):
+        quota = stats.get("quota", 0)
+        lines.append(
+            f"  {tenant}: backlog {stats.get('backlog', 0)}, "
+            f"{stats.get('queued', 0)} queued, "
+            f"{stats.get('leased', 0)} leased, "
+            f"{stats.get('done', 0)} done, "
+            f"{stats.get('failed', 0)} failed "
+            f"(leases {stats.get('active_leases', 0)}"
+            f"/{quota if quota else 'unlimited'})")
+    age = doc.get("oldest_lease_age_s")
+    if age is not None:
+        lines.append(f"oldest lease age: {float(age):.1f}s")
+    kinds = doc.get("failure_kinds") or doc.get("failure_classes") or {}
+    if kinds:
+        lines.append("failure classes: " + ", ".join(
+            f"{v} {k}" for k, v in sorted(kinds.items())))
+    return lines
+
+
 def failure_histogram(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
     """Failure-class counts over parsed event-log entries."""
     counts: Dict[str, int] = {}

@@ -17,7 +17,13 @@ Client surface::
     GET    /v1/runs/<job_key>/result           its finished record
     GET    /v1/runs/<job_key>/artifacts        telemetry artifact names
     GET    /v1/runs/<job_key>/artifacts/<name> artifact download (bytes)
+    GET    /v1/runs/<job_key>/trace            stitched host+cycle trace
     GET    /v1/events?offset=N[&job=K][&wait_s=S]   tail the event log
+
+Observability surface::
+
+    GET /metrics       Prometheus text exposition (scrape target)
+    GET /v1/flight     the flight recorder's current ring, oldest first
 
 Worker surface::
 
@@ -104,6 +110,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str, parts: list, query: Dict[str, str],
                queue: JobQueue) -> bool:
+        if method == "GET" and parts == ["metrics"]:
+            # Top-level by scraper convention, text not JSON.
+            self._send_text(queue.prometheus_text(),
+                            ctype="text/plain; version=0.0.4; "
+                                  "charset=utf-8")
+            return True
         if len(parts) < 2 or parts[0] != "v1":
             return False
         head, rest = parts[1], parts[2:]
@@ -141,6 +153,12 @@ class _Handler(BaseHTTPRequestHandler):
             if head == "runs" and len(rest) == 3 \
                     and rest[1] == "artifacts":
                 return self._send_artifact(queue, rest[0], rest[2])
+            if head == "runs" and len(rest) == 2 and rest[1] == "trace":
+                self._send_json(queue.stitched_trace(rest[0]))
+                return True
+            if head == "flight" and not rest:
+                self._send_json(queue.flight.payload())
+                return True
             if head == "events" and not rest:
                 self._send_json(self._tail(queue, query))
                 return True
@@ -259,6 +277,15 @@ class _Handler(BaseHTTPRequestHandler):
         blob = json.dumps(doc, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, text: str, ctype: str = "text/plain",
+                   status: int = 200) -> None:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)

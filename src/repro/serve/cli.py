@@ -8,6 +8,8 @@ Subcommands::
     repro-serve status  --server URL [REF] [--json]
     repro-serve results --server URL REF [--out FILE]
     repro-serve events  --server URL [--job KEY] [--follow]
+    repro-serve metrics --server URL
+    repro-serve trace   --server URL JOB_KEY [--out FILE]
     repro-serve drain   --server URL [--wait] [--off]
 
 ``serve`` hosts the queue (optionally spawning a local worker fleet);
@@ -22,6 +24,8 @@ import json
 import sys
 import time
 from typing import Any, Dict, List, Optional
+
+from repro.orchestrate.status import gauge_lines
 
 from repro.serve.api import ServeService
 from repro.serve.client import ServeClient, ServeHTTPError
@@ -145,12 +149,9 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"submissions: {subs.get('total', 0)} total across"
           f" {len(doc.get('tenants', {}))} tenants"
           f" ({subs.get('cache_hits', 0)} cache hits)")
-    for tenant, stats in sorted(doc.get("tenants", {}).items()):
-        print(f"  {tenant}: {stats}")
-    cache = doc.get("cache", {})
-    if cache:
-        print("cache: " + ", ".join(f"{k}={v}"
-                                    for k, v in sorted(cache.items())))
+    # Gauges, through the formatter the orchestrator CLI shares.
+    for line in gauge_lines(doc):
+        print(line)
     return 0
 
 
@@ -186,6 +187,27 @@ def cmd_events(args: argparse.Namespace) -> int:
     except BrokenPipeError:    # piped into head/grep that exited
         import os
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    print(ServeClient(args.server).metrics(), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    client = ServeClient(args.server)
+    try:
+        doc = client.trace(args.job_key)
+    except ServeHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, sort_keys=True)
+    other = doc.get("otherData", {})
+    print(f"{len(doc.get('traceEvents', []))} events"
+          f" (trace {other.get('trace_id')}) -> {args.out}"
+          f" (load at https://ui.perfetto.dev)")
     return 0
 
 
@@ -278,6 +300,19 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--follow", action="store_true",
                         help="stream live (long-poll)")
     events.set_defaults(fn=cmd_events)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape the /metrics Prometheus text")
+    metrics.add_argument("--server", required=True)
+    metrics.set_defaults(fn=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="fetch a run's stitched host+cycle Perfetto trace")
+    trace.add_argument("--server", required=True)
+    trace.add_argument("job_key", help="run job-key")
+    trace.add_argument("--out", default="trace.json",
+                       help="output trace JSON path")
+    trace.set_defaults(fn=cmd_trace)
 
     drain = sub.add_parser("drain", help="stop leasing new work")
     drain.add_argument("--server", required=True)

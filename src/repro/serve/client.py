@@ -109,6 +109,22 @@ class ServeClient:
         with urllib.request.urlopen(url, timeout=self.timeout) as resp:
             return resp.read()
 
+    # ------------------------------------------------------- observability
+
+    def metrics(self) -> str:
+        """The raw Prometheus text body of ``GET /metrics``."""
+        url = f"{self.base_url}/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def trace(self, job_key: str) -> Dict[str, Any]:
+        """The run's stitched host+cycle Perfetto document."""
+        return self.request("GET", f"/v1/runs/{job_key}/trace")
+
+    def flight(self) -> Dict[str, Any]:
+        """The service's flight-recorder ring (recent queue events)."""
+        return self.request("GET", "/v1/flight")
+
     # ----------------------------------------------------------- streaming
 
     def events(self, offset: int = 0, job: Optional[str] = None,

@@ -31,8 +31,10 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from typing import Any, Dict, Iterable, List
 
+from repro.obs.metrics import Histogram
 from repro.orchestrate.events import tail_events
 
 #: Ops that must hit the platter before the call returns.
@@ -40,13 +42,21 @@ DURABLE_OPS = frozenset({"submit", "commit", "fail", "cancel"})
 
 
 class Journal:
-    """One append-only JSONL journal file with tiered durability."""
+    """One append-only JSONL journal file with tiered durability.
+
+    Every durable append times its fsync into :attr:`fsync_us` (a
+    power-of-two histogram in microseconds) — the journal is on every
+    submit and commit path, so its sync latency *is* the service's
+    write-side latency floor, and ``GET /metrics`` exposes it.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         self._lock = threading.Lock()
         self._handle = open(path, "a")
+        #: fsync latency distribution, microseconds.
+        self.fsync_us = Histogram("journal_fsync_us")
 
     # ------------------------------------------------------------ write
 
@@ -67,10 +77,13 @@ class Journal:
                 self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
             self._handle.flush()
             if durable:
+                t0 = time.perf_counter()
                 try:
                     os.fsync(self._handle.fileno())
                 except OSError:  # pragma: no cover - exotic filesystems
                     pass
+                self.fsync_us.observe(
+                    (time.perf_counter() - t0) * 1e6)
         return batch
 
     def close(self) -> None:

@@ -123,6 +123,11 @@ class Run:
     generation: int = 0                # lease fencing token source
     worker: Optional[str] = None
     lease_expires: float = 0.0         # wall clock (time.time) deadline
+    #: Host-domain trace id, minted once at queue ingest and carried by
+    #: every lease of this run (including post-crash resume attempts).
+    trace_id: str = ""
+    t_queued: float = 0.0              # wall clock of first enqueue
+    t_leased: float = 0.0              # wall clock of the current lease
     error: str = ""
     kind: str = "ok"
     #: Checkpoint boundary the committing attempt resumed from, if any.
@@ -147,6 +152,7 @@ class Run:
             "attempts": self.attempts,
             "requeues": self.requeues,
             "worker": self.worker if self.state == RUN_LEASED else None,
+            "trace_id": self.trace_id,
         }
         if self.error:
             extra["error"] = self.error

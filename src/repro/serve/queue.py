@@ -33,12 +33,19 @@ Crash recovery invariants:
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 from collections import Counter
 from typing import Any, Dict, List, Optional
 
+from repro.ioutil import atomic_write_json
+from repro.obs.flight import FlightRecorder
+from repro.obs.promtext import (Family, histogram_family,
+                                render_prometheus)
+from repro.obs.tracectx import (HostSpan, HostSpanLog, mint_trace_id,
+                                stitch_trace)
 from repro.orchestrate.cache import ResultCache
 from repro.orchestrate.events import EventLog
 from repro.orchestrate.jobspec import JobSpec
@@ -66,6 +73,7 @@ class JobQueue:
                  max_queued_per_tenant: int = 0,
                  checkpoint_every: int = 2000,
                  checkpoint_ring: int = 4,
+                 flight_capacity: int = 256,
                  verbose: bool = False) -> None:
         if lease_s <= 0:
             raise ValueError("lease_s must be positive")
@@ -88,6 +96,15 @@ class JobQueue:
         self.artifacts_root = os.path.join(self.root, "artifacts")
         self.events_path = os.path.join(self.root, "events.jsonl")
         self.events = EventLog(sink_path=self.events_path, verbose=verbose)
+        #: Bounded ring of recent transitions — the black box attached
+        #: to failure dumps (see :meth:`_dump_flight`).
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.flight_dir = os.path.join(self.root, "flight")
+        self.hostspans_path = os.path.join(self.root, "hostspans.jsonl")
+        self.hostspans = HostSpanLog(self.hostspans_path)
+        self.started_at = time.time()
+        #: Terminal failures by failure class (monotonic; /metrics).
+        self.failure_kinds: Counter = Counter()
 
         self._lock = threading.RLock()
         self.runs: Dict[str, Run] = {}
@@ -116,6 +133,7 @@ class JobQueue:
             return
         self.events.record(kind, job_key, label, **detail)
         self.events.flush()
+        self.flight.record(kind, job_key=job_key, label=label, **detail)
 
     def _journal_op(self, op: str, **fields: Any) -> None:
         if not self._replaying:
@@ -177,7 +195,7 @@ class JobQueue:
                 entry = {"op": "submit", "sub": sub_id, "tenant": tenant,
                          "priority": priority, "job_key": spec.job_key(),
                          "spec": spec.to_dict(), "telemetry": telemetry,
-                         "t": time.time()}
+                         "trace": mint_trace_id(), "t": time.time()}
                 entries.append(entry)
             if not self._replaying:
                 self._journal.append_many(entries)
@@ -206,7 +224,8 @@ class JobQueue:
                 sub.cache_hit = True
                 run = Run(job_key=job_key, spec=entry["spec"],
                           tenant=tenant, seq=self._next_seq(),
-                          priority=sub.priority, state=RUN_DONE)
+                          priority=sub.priority, state=RUN_DONE,
+                          trace_id=entry.get("trace", ""))
                 run.submissions.append(sub.sub_id)
                 run.tenants.add(tenant)
                 run.telemetry = bool(entry.get("telemetry", False))
@@ -215,8 +234,14 @@ class JobQueue:
                             tenant=tenant,
                             cycles=record.get("result", {}).get("cycles", 0))
                 return sub
+            # The run's trace id is minted once, here at ingest, and
+            # journaled with the submission — a restart replays the
+            # same id, so a post-crash resume attempt stays on the
+            # trace that queued it.
             run = Run(job_key=job_key, spec=entry["spec"], tenant=tenant,
-                      seq=self._next_seq(), priority=sub.priority)
+                      seq=self._next_seq(), priority=sub.priority,
+                      trace_id=entry.get("trace", ""),
+                      t_queued=float(entry.get("t", 0.0)) or time.time())
             run.telemetry = bool(entry.get("telemetry", False))
             self.runs[job_key] = run
         elif run.state in (RUN_FAILED, RUN_CANCELLED):
@@ -225,6 +250,7 @@ class JobQueue:
             run.attempts = 0
             run.error, run.kind = "", "ok"
             run.seq = self._next_seq()
+            run.t_queued = float(entry.get("t", 0.0)) or time.time()
         run.submissions.append(sub.sub_id)
         run.tenants.add(tenant)
         run.priority = max(run.priority, sub.priority)
@@ -256,12 +282,26 @@ class JobQueue:
             run = self._pick()
             if run is None:
                 return None
+            now = time.time()
             run.state = RUN_LEASED
             run.attempts += 1
             run.generation += 1
             run.worker = worker_id
-            run.lease_expires = time.time() + self.lease_s
-            self.workers[worker_id]["job_key"] = run.job_key
+            run.lease_expires = now + self.lease_s
+            info = self.workers[worker_id]
+            info["job_key"] = run.job_key
+            info["leases"] = info.get("leases", 0) + 1
+            # Close the host-domain wait interval: queued (or last
+            # requeued) -> this lease.
+            if run.trace_id and run.t_queued > 0:
+                self.hostspans.record(HostSpan(
+                    name="queue.wait", trace_id=run.trace_id,
+                    start=min(run.t_queued, now), end=now,
+                    track="host/queue",
+                    args={"job_key": run.job_key[:12],
+                          "tenant": run.tenant,
+                          "attempt": run.attempts}))
+            run.t_leased = now
             self._journal_op("lease", job_key=run.job_key,
                              worker=worker_id, gen=run.generation,
                              attempt=run.attempts,
@@ -274,6 +314,7 @@ class JobQueue:
                 "token": run.generation,
                 "attempt": run.attempts,
                 "lease_s": self.lease_s,
+                "trace_id": run.trace_id,
                 "payload": self._payload(run),
             }
 
@@ -307,6 +348,9 @@ class JobQueue:
             }
         if getattr(run, "telemetry", False):
             payload["_telemetry"] = {"dir": self.artifacts_dir(run.job_key)}
+        if run.trace_id:
+            payload["_trace"] = {"trace_id": run.trace_id,
+                                 "attempt": run.attempts}
         return payload
 
     def _touch_worker(self, worker_id: str) -> None:
@@ -347,9 +391,25 @@ class JobQueue:
                 requeued.append(run.job_key)
         return requeued
 
+    def _close_lease_span(self, run: Run, outcome: str) -> None:
+        """Record the ``lease.held`` host span for the lease now ending
+        (commit, failure report, or expiry). Idempotent per lease:
+        ``t_leased`` is consumed."""
+        if self._replaying or not run.trace_id or run.t_leased <= 0:
+            return
+        self.hostspans.record(HostSpan(
+            name="lease.held", trace_id=run.trace_id,
+            start=run.t_leased, end=time.time(), track="host/queue",
+            args={"job_key": run.job_key[:12],
+                  "worker": run.worker or "",
+                  "attempt": run.attempts, "outcome": outcome}))
+        run.t_leased = 0.0
+
     def _requeue(self, run: Run, reason: str) -> None:
         worker = run.worker
+        self._close_lease_span(run, outcome=reason)
         run.worker = None
+        run.t_queued = time.time()
         if run.attempts >= self.max_attempts:
             self._terminal_failure(
                 run, kind="crash",
@@ -386,11 +446,36 @@ class JobQueue:
                     f"current {run.generation})")
             spec = run.job_spec()
             self.cache.put(spec, record)
-            resumed = record.get("meta", {}).get("resumed_from")
+            meta = record.get("meta", {})
+            resumed = meta.get("resumed_from")
+            worker = run.worker or ""
+            self._close_lease_span(run, outcome="commit")
             run.state = RUN_DONE
             run.commits += 1
             run.worker = None
             run.resumed_from = resumed
+            # The worker's host spans (worker.attempt / ckpt.restore /
+            # sim.run) ride back on the record's meta — parity-exempt —
+            # and land in the same hostspans log the queue writes, so
+            # one trace id stitches both processes.
+            worker_spans = meta.get("host_spans") or []
+            if worker_spans:
+                try:
+                    self.hostspans.append_many(
+                        HostSpan.from_dict(s) for s in worker_spans)
+                except (KeyError, TypeError, ValueError):
+                    pass  # malformed spans must never block a commit
+            if worker:
+                info = self.workers.setdefault(
+                    worker, {"leases": 0, "job_key": None})
+                info["jobs"] = info.get("jobs", 0) + 1
+                info["cycles"] = info.get("cycles", 0) + int(
+                    record.get("result", {}).get("cycles", 0) or 0)
+                info["events"] = info.get("events", 0) + int(
+                    meta.get("events_executed", 0) or 0)
+                info["busy_s"] = info.get("busy_s", 0.0) + float(
+                    meta.get("wall_s", 0.0) or 0.0)
+                info["job_key"] = None
             self._journal_op("commit", job_key=job_key, gen=token,
                              **({"resumed_from": resumed}
                                 if resumed is not None else {}))
@@ -416,6 +501,7 @@ class JobQueue:
                 raise StaleLeaseError(
                     f"failure report for {job_key[:12]} refused: lease "
                     f"not held")
+            self._close_lease_span(run, outcome=f"fail:{kind}")
             run.worker = None
             if kind in DETERMINISTIC_KINDS or run.attempts >= \
                     self.max_attempts:
@@ -428,11 +514,28 @@ class JobQueue:
         run.state = RUN_FAILED
         run.kind = kind
         run.error = error
+        self.failure_kinds[kind] += 1
         self._journal_op("fail", job_key=run.job_key, kind=kind,
                          error=error)
         self._settle_submissions(run, SUB_FAILED)
         self._event("failed", run.job_key, run.job_spec().describe(),
                     attempt=run.attempts, failure_kind=kind, error=error)
+        if not self._replaying:
+            self._dump_flight(run)
+
+    def _dump_flight(self, run: Run) -> None:
+        """Dump the flight-recorder ring next to the run that died —
+        the service-level analogue of the checkpoint layer's black-box
+        snapshot: what the queue saw in the moments before the end."""
+        try:
+            atomic_write_json(
+                os.path.join(self.flight_dir, f"{run.job_key}.json"),
+                {"job_key": run.job_key, "trace_id": run.trace_id,
+                 "failure_kind": run.kind, "error": run.error,
+                 "t_wall": time.time(), "flight": self.flight.payload()},
+                durable=False, indent=2)
+        except OSError:  # pragma: no cover - disk trouble
+            pass
 
     def _settle_submissions(self, run: Run, state: str) -> None:
         for sub_id in run.submissions:
@@ -544,11 +647,17 @@ class JobQueue:
                     "quota": self.quota_for(tenant),
                     "submissions": sum(1 for s in self.subs.values()
                                        if s.tenant == tenant),
+                    "backlog": self._live_submissions(tenant),
                 }
             resumed = sum(1 for run in self.runs.values()
                           if run.resumed_from is not None)
+            now = time.time()
+            lease_ages = [now - run.t_leased
+                          for run in self.runs.values()
+                          if run.state == RUN_LEASED and run.t_leased > 0]
             return {
                 "draining": self.draining,
+                "uptime_s": now - self.started_at,
                 "runs": {"total": len(self.runs), **dict(run_states)},
                 "submissions": {"total": len(self.subs),
                                 "cache_hits": cache_hits,
@@ -556,13 +665,179 @@ class JobQueue:
                 "tenants": tenants,
                 "workers": {
                     worker: {"last_seen": info.get("last_seen"),
-                             "job_key": info.get("job_key")}
+                             "job_key": info.get("job_key"),
+                             "leases": info.get("leases", 0),
+                             "jobs": info.get("jobs", 0),
+                             "cycles": info.get("cycles", 0),
+                             "events": info.get("events", 0),
+                             "busy_s": info.get("busy_s", 0.0)}
                     for worker, info in self.workers.items()},
                 "resumed_runs": resumed,
+                "oldest_lease_age_s": max(lease_ages, default=0.0),
+                "failure_kinds": dict(self.failure_kinds),
                 "counters": dict(self.counters),
                 "cache": dict(self.cache.counters),
+                "flight": {"recorded": self.flight.payload()["recorded"],
+                           "dropped": self.flight.dropped,
+                           "capacity": self.flight.capacity},
                 "throughput": self.events.throughput(),
             }
+
+    # ----------------------------------------------------- observability
+
+    def prometheus_families(self) -> List[Family]:
+        """The live metric catalog ``GET /metrics`` renders. Counters
+        here are lifetime-monotonic for this service instance (event
+        counts, cache ops, worker totals); gauges are instantaneous
+        (depth, backlog, lease ages, heartbeat staleness)."""
+        with self._lock:
+            now = time.time()
+            fams: List[Family] = []
+
+            up = Family("repro_serve_uptime_seconds", "gauge",
+                        "Seconds since this queue instance opened.")
+            up.add(max(0.0, now - self.started_at))
+            fams.append(up)
+
+            tenants = sorted({run.tenant for run in self.runs.values()}
+                             | {sub.tenant for sub in self.subs.values()})
+            depth = Family("repro_queue_depth", "gauge",
+                           "Leasable (queued) runs per tenant.")
+            backlog = Family("repro_tenant_backlog", "gauge",
+                             "Live (unsettled) submissions per tenant.")
+            for tenant in tenants:
+                depth.add(sum(1 for r in self.runs.values()
+                              if r.tenant == tenant
+                              and r.state == RUN_QUEUED), tenant=tenant)
+                backlog.add(self._live_submissions(tenant), tenant=tenant)
+            fams += [depth, backlog]
+
+            runs = Family("repro_runs", "gauge", "Runs by state.")
+            for state in (RUN_QUEUED, RUN_LEASED, RUN_DONE, RUN_FAILED,
+                          RUN_CANCELLED):
+                runs.add(sum(1 for r in self.runs.values()
+                             if r.state == state), state=state)
+            fams.append(runs)
+
+            ages = Family("repro_lease_age_seconds", "gauge",
+                          "Age of each currently held lease.")
+            oldest = 0.0
+            for run in self.runs.values():
+                if run.state == RUN_LEASED and run.t_leased > 0:
+                    age = max(0.0, now - run.t_leased)
+                    oldest = max(oldest, age)
+                    ages.add(age, worker=run.worker or "",
+                             job=run.job_key[:12])
+            fams.append(ages)
+            oldf = Family("repro_oldest_lease_age_seconds", "gauge",
+                          "Age of the oldest held lease (0 when none).")
+            oldf.add(oldest)
+            fams.append(oldf)
+
+            jobs = Family("repro_jobs_total", "counter",
+                          "Queue lifecycle events since start.")
+            for kind in ("queued", "cache_hit", "started", "finished",
+                         "retried", "failed", "cancelled"):
+                jobs.add(self.events.counts.get(kind, 0), event=kind)
+            fams.append(jobs)
+
+            failures = Family("repro_failures_total", "counter",
+                              "Terminally failed runs by failure class.")
+            for kind, count in sorted(self.failure_kinds.items()):
+                failures.add(count, kind=kind)
+            fams.append(failures)
+
+            cache = Family("repro_cache_ops_total", "counter",
+                           "Result-cache operations (dedup wins, misses,"
+                           " quarantined corrupt records, writes).")
+            for op in ("hit", "miss", "quarantined", "put"):
+                cache.add(self.cache.counters.get(op, 0), op=op)
+            fams.append(cache)
+
+            fence = Family("repro_fence_refusals_total", "counter",
+                           "Zombie commits/failure reports refused by "
+                           "the lease-generation fence.")
+            fence.add(self.counters.get("stale_commits", 0), kind="commit")
+            fence.add(self.counters.get("stale_fails", 0), kind="fail")
+            fams.append(fence)
+
+            requeues = Family("repro_requeues_total", "counter",
+                              "Lease expiries and retried failures.")
+            requeues.add(self.counters.get("requeues", 0))
+            fams.append(requeues)
+
+            stale = Family("repro_worker_heartbeat_staleness_seconds",
+                           "gauge", "Seconds since each worker was "
+                           "last heard from.")
+            wjobs = Family("repro_worker_jobs_total", "counter",
+                           "Commits per worker.")
+            wcycles = Family("repro_worker_cycles_total", "counter",
+                             "Simulated cycles committed per worker.")
+            wevents = Family("repro_worker_events_total", "counter",
+                             "Engine events committed per worker.")
+            wcps = Family("repro_worker_cycles_per_second", "gauge",
+                          "Committed cycles over busy wall-clock, "
+                          "per worker.")
+            weps = Family("repro_worker_events_per_second", "gauge",
+                          "Committed engine events over busy "
+                          "wall-clock, per worker.")
+            for worker, info in sorted(self.workers.items()):
+                last = info.get("last_seen")
+                if last:
+                    stale.add(max(0.0, now - last), worker=worker)
+                wjobs.add(info.get("jobs", 0), worker=worker)
+                wcycles.add(info.get("cycles", 0), worker=worker)
+                wevents.add(info.get("events", 0), worker=worker)
+                busy = info.get("busy_s", 0.0)
+                if busy > 0:
+                    wcps.add(info.get("cycles", 0) / busy, worker=worker)
+                    weps.add(info.get("events", 0) / busy, worker=worker)
+            fams += [stale, wjobs, wcycles, wevents, wcps, weps]
+
+            sim = Family("repro_sim_cycles_total", "counter",
+                         "Simulated cycles executed (cache hits "
+                         "excluded).")
+            sim.add(self.events.sim_cycles)
+            fams.append(sim)
+
+            flight = Family("repro_flight_events_total", "counter",
+                            "Events recorded into the flight ring "
+                            "(including since-evicted ones).")
+            flight.add(self.flight.payload()["recorded"])
+            fams.append(flight)
+
+            fams.append(histogram_family(
+                "repro_journal_fsync_microseconds",
+                "Journal fsync latency (the service's write-side "
+                "durability floor).", self._journal.fsync_us))
+            return fams
+
+    def prometheus_text(self) -> str:
+        return render_prometheus(self.prometheus_families())
+
+    def stitched_trace(self, job_key: str) -> Dict[str, Any]:
+        """One Perfetto document for one run: its host-domain spans
+        (queue wait, leases, worker attempts) stitched with the
+        cycle-domain ``trace.json`` artifact when the run produced one
+        (``telemetry=True`` submissions)."""
+        with self._lock:
+            run = self._run(job_key)
+            if not run.trace_id:
+                raise UnknownJobError(
+                    f"job {job_key[:12]} predates tracing (no trace id)")
+            spans = self.hostspans.for_trace(run.trace_id)
+        cycle_doc = None
+        trace_path = os.path.join(self.artifacts_dir(job_key),
+                                  "trace.json")
+        if os.path.isfile(trace_path):
+            try:
+                with open(trace_path) as handle:
+                    cycle_doc = json.load(handle)
+            except (OSError, ValueError):
+                cycle_doc = None
+        return stitch_trace(spans, cycle_doc,
+                            label=f"serve {job_key[:12]}",
+                            trace_id=run.trace_id)
 
     # ------------------------------------------------------------ replay
 
@@ -638,6 +913,8 @@ class JobQueue:
                 run.kind = entry.get("kind", "error")
                 run.error = entry.get("error", "")
                 run.worker = None
+                # Keep repro_failures_total monotonic across restarts.
+                self.failure_kinds[run.kind] += 1
                 self._settle_submissions(run, SUB_FAILED)
         elif op == "cancel":
             sub = self.subs.get(entry.get("sub", ""))
@@ -650,3 +927,4 @@ class JobQueue:
     def close(self) -> None:
         self._journal.close()
         self.events.close()
+        self.hostspans.close()

@@ -35,7 +35,10 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flight import FlightRecorder
 
 from repro.config import config_for
 from repro.energy.model import energy_of
@@ -52,12 +55,13 @@ __all__ = ["Worker", "execute_serve_job", "spawn_worker", "main"]
 
 
 def execute_serve_job(payload: Dict[str, Any],
-                      boundary_hook: Optional[Callable[[int], None]] = None
+                      boundary_hook: Optional[Callable[[int], None]] = None,
+                      flight: Optional["FlightRecorder"] = None,
                       ) -> Dict[str, Any]:
     """Run one leased payload to its record.
 
     The payload is a JobSpec dict plus the out-of-band routing the
-    queue attached (neither is part of the content address):
+    queue attached (none of it is part of the content address):
 
     * ``_checkpoint`` — ``{dir, every, ring, resume}``: checkpoint into
       the shared store while running and resume from the newest valid
@@ -66,12 +70,31 @@ def execute_serve_job(payload: Dict[str, Any],
     * ``_telemetry`` — ``{dir, sample_every?}``: attach the obs layer
       and export a Perfetto trace (``trace.json``) and counter
       time-series (``series.csv``) into the run's artifact directory,
-      which the service's artifact endpoints serve.
+      which the service's artifact endpoints serve;
+    * ``_trace`` — ``{trace_id, attempt}``: the run's host-domain trace
+      id. The attempt is wrapped in ``worker.attempt`` / ``ckpt.restore``
+      / ``sim.run`` host spans that ride back to the queue on the
+      record's ``meta.host_spans`` (meta is parity-exempt), where they
+      join the queue's own spans for the same trace id.
+
+    ``flight`` (a host-side ring of recent worker events) is handed to
+    the :class:`~repro.ckpt.checkpoint.Checkpointer` so a deadlocked or
+    timed-out run's black box records what the worker was doing.
     """
     payload = dict(payload)
     ckpt_cfg = payload.pop("_checkpoint", None)
     tel_cfg = payload.pop("_telemetry", None)
+    trace_cfg = payload.pop("_trace", None)
     spec = JobSpec.from_dict(payload)
+
+    tracectx = None
+    if trace_cfg and trace_cfg.get("trace_id"):
+        from repro.obs.tracectx import TraceContext
+        tracectx = TraceContext(str(trace_cfg["trace_id"]),
+                                track="host/worker")
+        tracectx.begin("worker.attempt", job_key=spec.job_key()[:12],
+                       attempt=int(trace_cfg.get("attempt", 0)),
+                       pid=os.getpid())
     config = config_for(spec.config_label, seed=spec.seed,
                         **spec.config_overrides)
     workload = build_workload(spec.workload, spec.workload_params)
@@ -85,6 +108,7 @@ def execute_serve_job(payload: Dict[str, Any],
 
     t0 = time.perf_counter()
     resumed_from: Optional[int] = None
+    events_executed: Optional[int] = None
     if ckpt_cfg:
         from repro.ckpt import Checkpointer, CheckpointStore
         checkpointer = Checkpointer(
@@ -92,21 +116,43 @@ def execute_serve_job(payload: Dict[str, Any],
             every=int(ckpt_cfg.get("every", 2000)),
             ring=int(ckpt_cfg.get("ring", 8)),
             telemetry=telemetry, workload=workload,
-            boundary_hook=boundary_hook)
-        stats = checkpointer.run(resume=bool(ckpt_cfg.get("resume", True)))
+            boundary_hook=boundary_hook, flight=flight)
+        resume = bool(ckpt_cfg.get("resume", True))
+        if tracectx is not None:
+            tracectx.begin("ckpt.restore")
+        checkpointer.prepare(resume=resume)
+        if tracectx is not None:
+            tracectx.end("ckpt.restore",
+                         resumed_from=checkpointer.resumed_from)
+            tracectx.begin("sim.run")
+        stats = checkpointer.run(resume=resume)
+        if tracectx is not None:
+            tracectx.end("sim.run", cycles=stats.cycles)
         resumed_from = checkpointer.resumed_from
+        if checkpointer.machine is not None:
+            events_executed = checkpointer.machine.events_executed
         result = RunResult(workload=workload.name,
                            config_label=config.label(), stats=stats,
                            energy=energy_of(stats), telemetry=telemetry)
     else:
+        if tracectx is not None:
+            tracectx.begin("sim.run")
         result = run_workload(config, workload, telemetry=telemetry)
+        if tracectx is not None:
+            tracectx.end("sim.run", cycles=result.cycles)
 
     record = record_of(spec, result, wall_s=time.perf_counter() - t0)
     if resumed_from is not None:
         record["meta"]["resumed_from"] = resumed_from
+    if events_executed is not None:
+        record["meta"]["events_executed"] = events_executed
     if telemetry is not None and tel_cfg.get("dir"):
         record["meta"]["artifacts"] = _export_artifacts(
             telemetry, tel_cfg["dir"])
+    if tracectx is not None:
+        tracectx.end("worker.attempt")
+        record["meta"]["trace_id"] = tracectx.trace_id
+        record["meta"]["host_spans"] = tracectx.as_dicts()
     return record
 
 
@@ -139,6 +185,10 @@ class Worker:
         self.kill_after_boundaries = kill_after_boundaries
         self.verbose = verbose
         self.jobs_done = 0
+        # Worker-side black box: recent lease/execute/commit events,
+        # folded into the checkpoint layer's failure payload.
+        from repro.obs.flight import FlightRecorder
+        self.flight = FlightRecorder(capacity=128)
 
     def _log(self, message: str) -> None:
         if self.verbose:
@@ -172,6 +222,9 @@ class Worker:
         token = int(lease["token"])
         lease_s = float(lease.get("lease_s", 5.0))
         self._log(f"leased {job_key[:12]} (attempt {lease['attempt']})")
+        self.flight.record("lease", job_key=job_key[:12],
+                           attempt=int(lease.get("attempt", 0)),
+                           trace_id=lease.get("trace_id", ""))
 
         stop = threading.Event()
         beat = threading.Thread(
@@ -180,12 +233,14 @@ class Worker:
         beat.start()
         try:
             record = execute_serve_job(lease["payload"],
-                                       boundary_hook=self._kill_hook())
+                                       boundary_hook=self._kill_hook(),
+                                       flight=self.flight)
         except Exception as exc:  # noqa: BLE001 — job isolation
             stop.set()
             beat.join(timeout=1.0)
             kind = classify_failure(exc)
             self._log(f"failed {job_key[:12]}: [{kind}] {exc}")
+            self.flight.record("failed", job_key=job_key[:12], kind=kind)
             try:
                 self.client.fail(job_key, token, kind, str(exc))
             except (StaleLeaseError, ServeHTTPError, OSError):
@@ -193,6 +248,7 @@ class Worker:
             return
         stop.set()
         beat.join(timeout=1.0)
+        self.flight.record("executed", job_key=job_key[:12])
         try:
             view = self.client.commit(job_key, token, record)
             resumed = view.get("resumed_from")
