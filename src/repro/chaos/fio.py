@@ -1,0 +1,160 @@
+"""Host-IO fault shims: the handlers that plug into :mod:`repro.iohooks`.
+
+Three handlers, one seam:
+
+* :class:`FaultyIO` — injects a :class:`~repro.chaos.plan.ChaosPlan`'s
+  IO faults (ENOSPC, torn writes, EIO reads, slow fsyncs) at the named
+  sites, plus a manual ``disk_full`` toggle for the degradation drill;
+* :class:`KillAtSite` — SIGKILLs the *current process* at the nth hit
+  of one site: the ALICE-style crash-point prober;
+* :class:`SiteCounter` — pure recorder; enumerates how many times each
+  site fires during a workload, which is how the crash-point sweep
+  discovers its schedule.
+
+All are context managers around install/uninstall, so a test that
+dies mid-block still leaves the process clean (``with`` unwinds on the
+exceptions injection itself raises; SIGKILL needs no cleanup — the
+process is gone).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro import iohooks
+from repro.chaos.plan import (FSYNC_ENOSPC, FSYNC_SLOW, READ_EIO,
+                              TORN_WRITE, WRITE_ENOSPC, ChaosPlan,
+                              FaultMatcher)
+
+__all__ = ["FaultyIO", "KillAtSite", "SiteCounter"]
+
+
+class FaultyIO:
+    """Inject a plan's IO faults at iohooks sites.
+
+    Every injection is appended to :attr:`injected` (kind, site, path)
+    so a campaign manifest can state exactly what was done to the
+    system it judged. ``disk_full`` is the out-of-plan manual override
+    the disk-full drill flips: while True, every write/fsync-class site
+    (including the health probe's) raises ENOSPC."""
+
+    def __init__(self, plan: Optional[ChaosPlan] = None) -> None:
+        self.plan = plan or ChaosPlan()
+        self._matcher = FaultMatcher(self.plan.io_faults())
+        # filter_write consults the same windows but must not double-
+        # bump the hit counters io_site already bumped, so torn writes
+        # get their own matcher over only the torn faults.
+        self._tear_matcher = FaultMatcher(
+            [f for f in self.plan.io_faults() if f.kind == TORN_WRITE])
+        self.hits: Counter = Counter()
+        self.injected: List[Dict[str, Any]] = []
+        self.disk_full = False
+
+    # ------------------------------------------------------- context mgr
+
+    def __enter__(self) -> "FaultyIO":
+        iohooks.install(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        iohooks.uninstall(self)
+
+    # ----------------------------------------------------------- handler
+
+    def _note(self, kind: str, site: str, path: str) -> None:
+        self.injected.append({"kind": kind, "site": site,
+                              "path": os.path.basename(path)})
+
+    def on_site(self, site: str, path: str = "", size: int = -1) -> None:
+        self.hits[site] += 1
+        klass = iohooks.site_class(site)
+        if self.disk_full and klass in ("write", "fsync"):
+            self._note("disk_full_enospc", site, path)
+            raise OSError(errno.ENOSPC, "chaos: disk full", path)
+        for fault in self._matcher.active(site):
+            if fault.kind == WRITE_ENOSPC and klass == "write":
+                self._note(fault.kind, site, path)
+                raise OSError(errno.ENOSPC,
+                              "chaos: no space left on device", path)
+            if fault.kind == FSYNC_ENOSPC and klass == "fsync":
+                self._note(fault.kind, site, path)
+                raise OSError(errno.ENOSPC,
+                              "chaos: fsync hit full disk", path)
+            if fault.kind == FSYNC_SLOW and klass == "fsync":
+                self._note(fault.kind, site, path)
+                time.sleep(min(fault.magnitude, 200) / 1000.0)
+            if fault.kind == READ_EIO and klass == "read":
+                self._note(fault.kind, site, path)
+                raise OSError(errno.EIO,
+                              "chaos: input/output error", path)
+
+    def filter_write(self, site: str, path: str, data: str) -> str:
+        for fault in self._tear_matcher.active(site):
+            if fault.kind == TORN_WRITE:
+                offset = fault.magnitude % max(1, len(data))
+                self._note(fault.kind, site, path)
+                return data[:offset]
+        return data
+
+
+class KillAtSite:
+    """SIGKILL the current process at the nth hit of one site.
+
+    The crash is the point: no exception, no unwinding, no atexit —
+    exactly the power-cut the journal's replay contract is written
+    against. Used inside the lifecycle subprocess
+    (:mod:`repro.chaos.lifecycle`), never in the test process itself.
+    """
+
+    def __init__(self, site: str, nth: int = 1) -> None:
+        self.site = site
+        self.nth = max(1, nth)
+        self._seen = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "KillAtSite":
+        """``"journal.append.fsync:2"`` -> kill at the 2nd hit."""
+        site, _, nth = spec.partition(":")
+        return cls(site, int(nth) if nth else 1)
+
+    def __enter__(self) -> "KillAtSite":
+        iohooks.install(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        iohooks.uninstall(self)
+
+    def on_site(self, site: str, path: str = "", size: int = -1) -> None:
+        if site != self.site:
+            return
+        self._seen += 1
+        if self._seen >= self.nth:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def filter_write(self, site: str, path: str, data: str) -> str:
+        return data
+
+
+class SiteCounter:
+    """Pure passthrough recorder: which sites fire, how often."""
+
+    def __init__(self) -> None:
+        self.hits: Counter = Counter()
+
+    def __enter__(self) -> "SiteCounter":
+        iohooks.install(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        iohooks.uninstall(self)
+
+    def on_site(self, site: str, path: str = "", size: int = -1) -> None:
+        self.hits[site] += 1
+
+    def filter_write(self, site: str, path: str, data: str) -> str:
+        return data

@@ -1,0 +1,192 @@
+"""The crash-point workload: one deterministic submit→lease→commit
+lifecycle, runnable as a subprocess that can be SIGKILLed at any named
+IO site — plus the recovery verifier that replays the survivor.
+
+``python -m repro.chaos.lifecycle --root DIR --jobs N --kill SITE:NTH``
+drives a :class:`~repro.serve.queue.JobQueue` (no HTTP — the queue *is*
+the system of record; crash-point exploration targets its durability
+protocol, not the wire) through N fabricated runs, echoing a line per
+externally-visible promise as it is made:
+
+* ``ACK <sub_id> <job_key>`` — the submit call returned: the service
+  acknowledged the submission, which by contract is now durable;
+* ``COMMIT <job_key>`` — the commit call returned: the result is
+  published.
+
+The parent (:mod:`repro.chaos.crashpoints`) collects those promises
+from the pipe, lets the child die, then calls
+:func:`recover_and_verify`: reopen the queue (journal replay), drive
+whatever survived to completion, and check the two invariants the
+whole service plane rests on — **no acknowledged submission is lost**
+and **no run commits twice**.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.fio import KillAtSite
+from repro.orchestrate.jobspec import JobSpec
+from repro.serve.journal import replay_entries
+from repro.serve.model import (RUN_DONE, RUN_LEASED, RUN_QUEUED,
+                               TERMINAL_SUB_STATES)
+from repro.serve.queue import JobQueue
+
+__all__ = ["lifecycle_spec", "lifecycle_specs", "fabricated_record",
+           "run_lifecycle", "recover_and_verify", "main"]
+
+TENANT = "alice"
+
+
+def lifecycle_spec(i: int) -> JobSpec:
+    """The i-th deterministic spec (distinct content addresses)."""
+    return JobSpec(config_label="CB-All", workload="lock",
+                   workload_params={"lock_name": "ttas", "iterations": 2},
+                   config_overrides={"num_cores": 4}, seed=1000 + i)
+
+
+def lifecycle_specs(n: int) -> List[JobSpec]:
+    return [lifecycle_spec(i) for i in range(n)]
+
+
+def fabricated_record(spec: JobSpec) -> Dict[str, Any]:
+    """A well-formed record without running a simulation — the
+    crash-points under test are all in the queue's IO protocol, and a
+    deterministic payload keeps every subprocess fast and identical."""
+    return {"spec": spec.to_dict(),
+            "result": {"cycles": 100 + spec.seed, "traffic": 7,
+                       "llc_sync": 3},
+            "meta": {"wall_s": 0.01}}
+
+
+def run_lifecycle(root: str, jobs: int = 2) -> None:
+    """Drive the full lifecycle, echoing promises as they are made.
+    When a KillAtSite handler is installed this function never
+    returns — the process dies at the scheduled site."""
+    queue = JobQueue(root, lease_s=30.0, checkpoint_every=0)
+    for spec in lifecycle_specs(jobs):
+        view = queue.submit(TENANT, spec.to_dict())
+        print(f"ACK {view['submission_id']} {view['job_key']}",
+              flush=True)
+    while True:
+        lease = queue.lease("lifecycle-worker")
+        if lease is None:
+            break
+        spec = JobSpec.from_dict({
+            k: v for k, v in lease["payload"].items()
+            if not k.startswith("_")})
+        queue.commit(lease["job_key"], lease["token"],
+                     fabricated_record(spec))
+        print(f"COMMIT {lease['job_key']}", flush=True)
+    queue.close()
+    print("DONE", flush=True)
+
+
+def recover_and_verify(root: str, acked: List[str], committed: List[str],
+                       jobs: int) -> Dict[str, Any]:
+    """Reopen the crashed queue, finish what survived, and check the
+    invariants. ``acked`` holds "sub_id job_key" promise lines the
+    dead process printed; ``committed`` holds job keys."""
+    queue = JobQueue(root, lease_s=30.0, checkpoint_every=0)
+    problems: List[str] = []
+    journal_commits: Dict[str, int] = {}
+    try:
+        # A real client whose submit never came back retries it; the
+        # content-address dedup makes that free (and a duplicate on an
+        # *acked* one collapses onto the same run — which is exactly
+        # the duplicated-op robustness the sweep also wants covered).
+        for spec in lifecycle_specs(jobs):
+            queue.submit(TENANT, spec.to_dict())
+
+        # Drive every leasable survivor to done.
+        while True:
+            lease = queue.lease("recovery-worker")
+            if lease is None:
+                break
+            spec = JobSpec.from_dict({
+                k: v for k, v in lease["payload"].items()
+                if not k.startswith("_")})
+            queue.commit(lease["job_key"], lease["token"],
+                         fabricated_record(spec))
+
+        # Invariant 1 — zero lost runs: every acknowledged submission
+        # exists and reached a terminal state.
+        for line in acked:
+            sub_id, _, job_key = line.partition(" ")
+            sub = queue.subs.get(sub_id)
+            if sub is None:
+                problems.append(f"acked submission {sub_id} vanished")
+                continue
+            if sub.state not in TERMINAL_SUB_STATES:
+                problems.append(
+                    f"acked submission {sub_id} not terminal "
+                    f"({sub.state})")
+            run = queue.runs.get(job_key)
+            if run is None or run.state != RUN_DONE:
+                problems.append(
+                    f"acked run {job_key[:12]} not done "
+                    f"({'missing' if run is None else run.state})")
+
+        # Invariant 2 — zero duplicated runs: nothing commits twice,
+        # in memory or on the journal.
+        for job_key in committed:
+            run = queue.runs.get(job_key)
+            if run is None:
+                problems.append(
+                    f"committed run {job_key[:12]} vanished")
+            elif run.state != RUN_DONE:
+                problems.append(
+                    f"committed run {job_key[:12]} regressed to "
+                    f"{run.state}")
+        for run in queue.runs.values():
+            if run.commits > 1:
+                problems.append(
+                    f"run {run.job_key[:12]} committed "
+                    f"{run.commits} times in memory")
+        for entry in replay_entries(root):
+            if entry.get("op") == "commit":
+                key = entry.get("job_key", "")
+                journal_commits[key] = journal_commits.get(key, 0) + 1
+        for key, count in journal_commits.items():
+            if count > 1:
+                problems.append(
+                    f"run {key[:12]} has {count} commit journal lines")
+
+        # Completeness: every spec's record must be in the cache now.
+        for spec in lifecycle_specs(jobs):
+            if queue.cache.get(spec) is None:
+                problems.append(
+                    f"record for seed {spec.seed} missing from cache")
+        leftovers = [r.job_key[:12] for r in queue.runs.values()
+                     if r.state in (RUN_QUEUED, RUN_LEASED)]
+        if leftovers:
+            problems.append(f"unfinished runs after recovery: "
+                            f"{leftovers}")
+    finally:
+        queue.close()
+    return {"ok": not problems, "problems": problems,
+            "acked": len(acked), "committed": len(committed),
+            "journal_commit_lines": sum(journal_commits.values())}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos-lifecycle",
+        description="Crash-point lifecycle subprocess (SIGKILLs itself "
+                    "at --kill SITE:NTH).")
+    parser.add_argument("--root", required=True)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--kill", default=None, metavar="SITE:NTH")
+    args = parser.parse_args(argv)
+    if args.kill:
+        with KillAtSite.parse(args.kill):
+            run_lifecycle(args.root, jobs=args.jobs)
+    else:
+        run_lifecycle(args.root, jobs=args.jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

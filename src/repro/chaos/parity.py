@@ -1,0 +1,71 @@
+"""Empty-plan parity: the proof the shims are pure overhead-free
+observation when no fault is scheduled.
+
+The chaos harness only earns trust if installing it changes nothing:
+an empty :class:`~repro.chaos.plan.ChaosPlan` under
+:class:`~repro.chaos.fio.FaultyIO` / :class:`~repro.chaos.httpshim.
+ChaosTransport` must be **bit-identical** to running with no shim at
+all. Full-service runs mint wall-clock timestamps and random trace
+ids, so byte equality is asserted over a fixed-payload IO script that
+exercises every hooked path with deterministic inputs — journal
+appends (durable and not), the atomic write/fsync/rename/dirsync
+protocol, and checked reads — and over a deterministic HTTP body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Dict
+
+from repro.chaos.fio import FaultyIO
+from repro.ioutil import atomic_write_json, read_checked_json, sha256_of
+from repro.serve.journal import Journal
+
+__all__ = ["empty_plan_parity"]
+
+
+def _fixed_io_script(root: str) -> None:
+    """Deterministic bytes through every hooked IO path."""
+    os.makedirs(root, exist_ok=True)
+    journal = Journal(os.path.join(root, "journal.jsonl"))
+    journal.append("submit", sub="t-0000001", job_key="k" * 16,
+                   t=123.0)
+    journal.append("lease", job_key="k" * 16, gen=1, attempt=1,
+                   expires=456.0)
+    journal.append_many([{"op": "commit", "job_key": "k" * 16, "gen": 1},
+                         {"op": "drain", "on": False}])
+    journal.close()
+    body = {"result": {"cycles": 42}, "meta": {"wall_s": 0.0}}
+    payload = dict(body, integrity=sha256_of(body))
+    atomic_write_json(os.path.join(root, "artifact.json"), payload)
+    atomic_write_json(os.path.join(root, "casual.json"), body,
+                      durable=False)
+    read_checked_json(os.path.join(root, "artifact.json"), "integrity")
+
+
+def _digests(root: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            with open(path, "rb") as handle:
+                out[name] = hashlib.sha256(handle.read()).hexdigest()
+    return out
+
+
+def empty_plan_parity(workdir: str) -> Dict[str, Any]:
+    """Run the fixed script bare and under an empty-plan shim; return
+    both digest maps and whether they are identical."""
+    bare = os.path.join(workdir, "bare")
+    shimmed = os.path.join(workdir, "shimmed")
+    _fixed_io_script(bare)
+    with FaultyIO():
+        _fixed_io_script(shimmed)
+    bare_digests = _digests(bare)
+    shim_digests = _digests(shimmed)
+    return {
+        "bare": bare_digests,
+        "shimmed": shim_digests,
+        "identical": bare_digests == shim_digests,
+    }

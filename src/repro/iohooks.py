@@ -1,0 +1,161 @@
+"""Named host-IO fault-injection sites — the seam :mod:`repro.chaos`
+shims.
+
+Every durability-critical syscall the service plane performs — journal
+appends and fsyncs (:mod:`repro.serve.journal`), the atomic
+write/fsync/rename/dirsync protocol (:mod:`repro.ioutil`), checked
+artifact reads, and the health probe's heal check — announces itself
+here *by name* before executing. With no handler installed the
+announcement is one ``is None`` test, so production runs pay nothing;
+with a handler installed (a :class:`~repro.chaos.fio.FaultyIO` driven
+by a seeded plan, a :class:`~repro.chaos.fio.KillAtSite` crash-point
+prober, or a :class:`~repro.chaos.fio.SiteCounter`) the handler may
+
+* **raise** an ``OSError`` (``ENOSPC`` on a "full" disk, ``EIO`` on a
+  failing read) that the caller sees exactly where the real syscall
+  would have failed;
+* **truncate** the payload of a write (:func:`filter_write`) to model a
+  torn append at a byte-granular offset; or
+* **kill the process** (``SIGKILL``) to model a crash at precisely this
+  point of the protocol — which is what makes the site names double as
+  the crash-point catalog for the ALICE-style sweep in
+  :mod:`repro.chaos.crashpoints`.
+
+This module deliberately imports nothing from :mod:`repro` (it sits
+*below* :mod:`repro.ioutil` in the import graph), so any layer can call
+:func:`io_site` without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = [
+    "io_site", "filter_write", "install", "uninstall", "installed",
+    "site_class",
+    "SITE_JOURNAL_WRITE", "SITE_JOURNAL_FSYNC", "SITE_JOURNAL_SYNCED",
+    "SITE_TMP_WRITE", "SITE_TMP_FSYNC", "SITE_RENAME", "SITE_DIR_FSYNC",
+    "SITE_PUBLISHED", "SITE_READ", "SITE_PROBE_WRITE", "SITE_PROBE_FSYNC",
+    "ALL_SITES", "CRASH_SITES",
+]
+
+# ---------------------------------------------------------------- sites
+#
+# The catalog. Suffix encodes the syscall class (see site_class):
+#   .write   payload about to be written
+#   .fsync   file or directory about to be fsynced
+#   .rename  os.replace about to publish
+#   .read    artifact about to be read
+#   (other)  a marker *after* a durability step — a pure crash point.
+
+#: Journal batch append: before the lines are written.
+SITE_JOURNAL_WRITE = "journal.append.write"
+#: Journal batch append: after flush, before the durable fsync.
+SITE_JOURNAL_FSYNC = "journal.append.fsync"
+#: Journal batch append: the fsync returned — the batch is durable.
+SITE_JOURNAL_SYNCED = "journal.append.synced"
+
+#: Atomic publication: before the temp file's payload is written.
+SITE_TMP_WRITE = "ioutil.tmp.write"
+#: Atomic publication: before the temp file's fsync.
+SITE_TMP_FSYNC = "ioutil.tmp.fsync"
+#: Atomic publication: before the os.replace onto the final name.
+SITE_RENAME = "ioutil.publish.rename"
+#: Atomic publication: before the directory fsync that makes the new
+#: name itself durable.
+SITE_DIR_FSYNC = "ioutil.dir.fsync"
+#: Atomic publication complete — file durable under its final name.
+SITE_PUBLISHED = "ioutil.published"
+
+#: Checked-JSON artifact read (result cache, checkpoint blobs).
+SITE_READ = "ioutil.read"
+
+#: Health probe's heal check: scratch write / fsync under the service
+#: root. Gated by the same shims, so a "full disk" keeps the service
+#: read-only until the injected fault is lifted.
+SITE_PROBE_WRITE = "probe.disk.write"
+SITE_PROBE_FSYNC = "probe.disk.fsync"
+
+ALL_SITES = (
+    SITE_JOURNAL_WRITE, SITE_JOURNAL_FSYNC, SITE_JOURNAL_SYNCED,
+    SITE_TMP_WRITE, SITE_TMP_FSYNC, SITE_RENAME, SITE_DIR_FSYNC,
+    SITE_PUBLISHED, SITE_READ, SITE_PROBE_WRITE, SITE_PROBE_FSYNC,
+)
+
+#: Sites the systematic crash-point sweep SIGKILLs at (probe sites are
+#: excluded — they only exist while already recovering, and read sites
+#: carry no durability obligation to violate).
+CRASH_SITES = (
+    SITE_JOURNAL_WRITE, SITE_JOURNAL_FSYNC, SITE_JOURNAL_SYNCED,
+    SITE_TMP_WRITE, SITE_TMP_FSYNC, SITE_RENAME, SITE_DIR_FSYNC,
+    SITE_PUBLISHED,
+)
+
+
+def site_class(site: str) -> str:
+    """The syscall class a site name encodes: ``write``, ``fsync``,
+    ``rename``, ``read``, or ``mark`` (a post-step crash point)."""
+    if site.endswith(".write"):
+        return "write"
+    if site.endswith(".fsync"):
+        return "fsync"
+    if site.endswith(".rename"):
+        return "rename"
+    if site.endswith(".read"):
+        return "read"
+    return "mark"
+
+
+# -------------------------------------------------------------- handler
+
+_lock = threading.Lock()
+_active: Optional[object] = None
+
+
+def install(handler: object) -> object:
+    """Install ``handler`` as the process-wide IO fault handler.
+
+    The handler must provide ``on_site(site, path="", size=-1)`` and
+    ``filter_write(site, path, data)``. Only one handler may be active;
+    installing over another raises (chaos experiments must not silently
+    stack)."""
+    global _active
+    with _lock:
+        if _active is not None and _active is not handler:
+            raise RuntimeError(
+                f"an IO fault handler is already installed "
+                f"({type(_active).__name__}); uninstall it first")
+        _active = handler
+    return handler
+
+
+def uninstall(handler: Optional[object] = None) -> None:
+    """Remove the active handler (a specific one, or whatever is
+    installed). Idempotent."""
+    global _active
+    with _lock:
+        if handler is None or _active is handler:
+            _active = None
+
+
+def installed() -> Optional[object]:
+    return _active
+
+
+def io_site(site: str, path: str = "", size: int = -1) -> None:
+    """Announce an IO site. May raise ``OSError`` (an injected fault)
+    or never return (an injected crash). No-op with no handler."""
+    handler = _active
+    if handler is not None:
+        handler.on_site(site, path=path, size=size)  # type: ignore[attr-defined]
+
+
+def filter_write(site: str, path: str, data: str) -> str:
+    """Give the handler a chance to tear a write: returns the payload
+    that should actually hit the file (a prefix of ``data`` when a torn
+    write is injected). Identity with no handler."""
+    handler = _active
+    if handler is None:
+        return data
+    return handler.filter_write(site, path, data)  # type: ignore[attr-defined]

@@ -15,21 +15,40 @@ Results (:mod:`repro.harness.results_io`), the orchestration cache
   *quarantined* (renamed ``<name>.corrupt``) rather than deleted, so
   the damaged bytes stay available for post-mortems while every normal
   code path treats the entry as absent.
+
+Every syscall in the protocol announces itself through the
+:mod:`repro.iohooks` fault-injection seam, so the :mod:`repro.chaos`
+harness can fail, tear, or crash it by name. Failed fsyncs are counted
+in :data:`FSYNC_ERRORS` (exported as ``repro_io_fsync_errors_total`` on
+the service's ``/metrics``), and an ``ENOSPC`` fsync is *always*
+re-raised — a full disk must reach the caller so the service plane can
+degrade to read-only instead of silently losing durability.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
 from typing import Any, Optional
 
+from repro.iohooks import (SITE_DIR_FSYNC, SITE_PUBLISHED, SITE_READ,
+                           SITE_RENAME, SITE_TMP_FSYNC, SITE_TMP_WRITE,
+                           filter_write, io_site)
+from repro.obs.metrics import Counter
+
 __all__ = [
     "canonical_json", "sha256_of", "atomic_write_text",
     "atomic_write_json", "fsync_dir", "quarantine", "read_checked_json",
-    "CorruptArtifactError",
+    "CorruptArtifactError", "FSYNC_ERRORS",
 ]
+
+#: Process-wide count of fsync failures observed at this layer (file
+#: and directory fsyncs). The serve plane renders it on ``/metrics``
+#: as ``repro_io_fsync_errors_total{layer="ioutil"}``.
+FSYNC_ERRORS = Counter("repro_io_fsync_errors_total")
 
 
 class CorruptArtifactError(ValueError):
@@ -70,17 +89,23 @@ def sha256_of(value: Any) -> str:
 def fsync_dir(path: str) -> None:
     """Flush a directory entry table (makes renames/creates durable).
 
-    Best-effort: some filesystems refuse ``open(O_RDONLY)`` on
-    directories; crash-safety degrades gracefully to rename atomicity.
+    Mostly best-effort: some filesystems refuse ``open(O_RDONLY)`` on
+    directories, and crash-safety degrades gracefully to rename
+    atomicity there. A *failing* fsync is counted in
+    :data:`FSYNC_ERRORS`, and ``ENOSPC`` is re-raised — a full disk is
+    a persistent condition the caller must react to, not a quirk.
     """
+    io_site(SITE_DIR_FSYNC, path)
     try:
         fd = os.open(path, os.O_RDONLY)
     except OSError:  # pragma: no cover - platform-dependent
         return
     try:
         os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
+    except OSError as exc:
+        FSYNC_ERRORS.inc()
+        if exc.errno == errno.ENOSPC:
+            raise
     finally:
         os.close(fd)
 
@@ -89,15 +114,27 @@ def atomic_write_text(path: str, text: str, durable: bool = True) -> None:
     """Publish ``text`` at ``path`` atomically (temp + fsync + rename)."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    io_site(SITE_TMP_WRITE, path, size=len(text))
+    out = filter_write(SITE_TMP_WRITE, path, text)
     fd, tmp = tempfile.mkstemp(dir=directory,
                                prefix=f".{os.path.basename(path)}.",
                                suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(text)
+            handle.write(out)
+            if len(out) != len(text):
+                raise OSError(
+                    errno.EIO,
+                    f"torn write ({len(out)}/{len(text)} bytes)", path)
             if durable:
                 handle.flush()
-                os.fsync(handle.fileno())
+                io_site(SITE_TMP_FSYNC, path)
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:
+                    FSYNC_ERRORS.inc()
+                    raise
+        io_site(SITE_RENAME, path)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -107,6 +144,7 @@ def atomic_write_text(path: str, text: str, durable: bool = True) -> None:
         raise
     if durable:
         fsync_dir(directory)
+    io_site(SITE_PUBLISHED, path)
 
 
 def atomic_write_json(path: str, value: Any, durable: bool = True,
@@ -144,6 +182,7 @@ def read_checked_json(path: str, checksum_field: Optional[str] = None) -> Any:
     entry; the returned dict has the checksum already stripped.
     """
     try:
+        io_site(SITE_READ, path)
         with open(path) as handle:
             value = json.load(handle)
     except (OSError, ValueError) as exc:

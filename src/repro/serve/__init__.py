@@ -23,13 +23,19 @@ Layers (each its own module):
 from repro.serve.api import ServeService
 from repro.serve.client import ServeClient, ServeHTTPError
 from repro.serve.journal import Journal
-from repro.serve.model import (QuotaExceededError, Run, ServeError,
-                               StaleLeaseError, Submission,
-                               UnknownJobError)
+from repro.serve.model import (HEALTH_DEGRADED, HEALTH_OK,
+                               HEALTH_READ_ONLY, BacklogExceededError,
+                               QuotaExceededError, Run, ServeError,
+                               ServiceUnavailableError, StaleLeaseError,
+                               Submission, UnknownJobError)
 from repro.serve.queue import JobQueue
 from repro.serve.worker import Worker, execute_serve_job, spawn_worker
 
 __all__ = [
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "HEALTH_READ_ONLY",
+    "BacklogExceededError",
     "JobQueue",
     "Journal",
     "QuotaExceededError",
@@ -38,6 +44,7 @@ __all__ = [
     "ServeError",
     "ServeHTTPError",
     "ServeService",
+    "ServiceUnavailableError",
     "StaleLeaseError",
     "Submission",
     "UnknownJobError",

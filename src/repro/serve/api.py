@@ -23,6 +23,8 @@ Client surface::
 Observability surface::
 
     GET /metrics       Prometheus text exposition (scrape target)
+    GET /healthz       health state: ok | degraded | read_only + reasons
+                       (503 + Retry-After while read_only)
     GET /v1/flight     the flight recorder's current ring, oldest first
 
 Worker surface::
@@ -42,7 +44,10 @@ orchestration event log (``events.jsonl``) with the torn-tail-tolerant
 reader, returns a byte offset to resume from, and optionally long-polls
 (``wait_s``) so a client can follow the log live without busy-waiting.
 Errors map :class:`~repro.serve.model.ServeError` subclasses to their
-HTTP statuses (404 unknown, 409 stale lease, 429 quota).
+HTTP statuses (404 unknown, 409 stale lease, 429 quota/backlog, 503
+read-only); errors carrying ``retry_after`` get a ``Retry-After``
+header plus a ``retry_after`` field in the JSON body — the signal
+:class:`~repro.serve.client.ServeClient`'s retry budget honors.
 """
 
 from __future__ import annotations
@@ -92,9 +97,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             handled = self._route(method, parts, query, queue)
         except ServeError as exc:
-            self._send_json({"error": str(exc),
-                             "type": type(exc).__name__},
-                            status=exc.http_status)
+            doc = {"error": str(exc), "type": type(exc).__name__}
+            headers = {}
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                doc["retry_after"] = retry_after
+                headers["Retry-After"] = f"{retry_after:g}"
+            self._send_json(doc, status=exc.http_status, headers=headers)
             return
         except (ValueError, TypeError, KeyError) as exc:
             self._send_json({"error": str(exc),
@@ -115,6 +124,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(queue.prometheus_text(),
                             ctype="text/plain; version=0.0.4; "
                                   "charset=utf-8")
+            return True
+        if method == "GET" and parts == ["healthz"]:
+            # Top-level by load-balancer convention. 503 while
+            # read-only so an LB stops routing writes, but the body
+            # still carries the full document (reasons, watermarks).
+            doc = queue.healthz()
+            if doc["state"] == "read_only":
+                self._send_json(
+                    doc, status=503,
+                    headers={"Retry-After":
+                             f"{doc.get('retry_after_s', 1.0):g}"})
+            else:
+                self._send_json(doc)
             return True
         if len(parts) < 2 or parts[0] != "v1":
             return False
@@ -273,11 +295,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _send_json(self, doc: Any, status: int = 200) -> None:
+    def _send_json(self, doc: Any, status: int = 200,
+                   headers: Dict[str, str] = None) -> None:
         blob = json.dumps(doc, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -336,6 +361,7 @@ class ServeService:
         while not self._stop.wait(self.housekeeping_s):
             try:
                 self.queue.expire_leases()
+                self.queue.health_probe()
             except Exception:  # pragma: no cover - keep sweeping
                 pass
 

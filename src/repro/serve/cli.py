@@ -51,6 +51,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                      max_attempts=args.max_attempts,
                      default_quota=args.default_quota,
                      quotas=_parse_quotas(args.quota),
+                     max_queued_runs=args.max_queued_runs,
+                     probe_interval_s=args.probe_interval_s,
+                     read_only_after=args.read_only_after,
                      checkpoint_every=args.checkpoint_every,
                      verbose=args.verbose)
     service = ServeService(queue, host=args.host, port=args.port,
@@ -141,8 +144,12 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 0
     runs = doc["runs"]
     subs = doc["submissions"]
+    health = doc.get("health", "ok")
     print(f"service up {doc.get('uptime_s', 0):.0f}s"
-          + ("  [draining]" if doc.get("draining") else ""))
+          + ("  [draining]" if doc.get("draining") else "")
+          + (f"  [health: {health}]" if health != "ok" else ""))
+    for reason in doc.get("health_reasons", []):
+        print(f"  ! {reason}")
     print(f"runs: {runs.get('queued', 0)} queued,"
           f" {runs.get('leased', 0)} leased, {runs.get('done', 0)} done,"
           f" {runs.get('failed', 0)} failed")
@@ -247,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = unlimited)")
     serve.add_argument("--quota", action="append", default=[],
                        metavar="TENANT=N", help="per-tenant override")
+    serve.add_argument("--max-queued-runs", type=int, default=0,
+                       help="global backlog watermark: submits get 429 "
+                            "above this many queued runs (0 = off)")
+    serve.add_argument("--probe-interval-s", type=float, default=1.0,
+                       help="read-only auto-recovery probe period")
+    serve.add_argument("--read-only-after", type=int, default=3,
+                       help="consecutive journal write failures before "
+                            "the queue degrades to read-only (ENOSPC "
+                            "trips it immediately)")
     serve.add_argument("--checkpoint-every", type=int, default=2000,
                        help="checkpoint boundary period in cycles")
     serve.add_argument("--verbose", action="store_true")

@@ -28,12 +28,16 @@ still replays cleanly.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import threading
 import time
 from typing import Any, Dict, Iterable, List
 
+from repro import ioutil
+from repro.iohooks import (SITE_JOURNAL_FSYNC, SITE_JOURNAL_SYNCED,
+                           SITE_JOURNAL_WRITE, filter_write, io_site)
 from repro.obs.metrics import Histogram
 from repro.orchestrate.events import tail_events
 
@@ -57,6 +61,11 @@ class Journal:
         self._handle = open(path, "a")
         #: fsync latency distribution, microseconds.
         self.fsync_us = Histogram("journal_fsync_us")
+        #: Failed journal fsyncs / failed or torn line writes since
+        #: open. The queue's health machinery reads these to decide
+        #: when durability has actually been lost.
+        self.fsync_errors = 0
+        self.write_errors = 0
 
     # ------------------------------------------------------------ write
 
@@ -72,18 +81,38 @@ class Journal:
         if any entry is durable."""
         batch = [dict(entry) for entry in entries]
         durable = any(entry.get("op") in DURABLE_OPS for entry in batch)
+        data = "".join(json.dumps(entry, sort_keys=True) + "\n"
+                       for entry in batch)
         with self._lock:
-            for entry in batch:
-                self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            self._handle.flush()
+            io_site(SITE_JOURNAL_WRITE, self.path, size=len(data))
+            out = filter_write(SITE_JOURNAL_WRITE, self.path, data)
+            try:
+                self._handle.write(out)
+                self._handle.flush()
+            except OSError:
+                self.write_errors += 1
+                raise
+            if len(out) != len(data):
+                self.write_errors += 1
+                raise OSError(
+                    errno.EIO,
+                    f"torn journal append ({len(out)}/{len(data)} bytes)",
+                    self.path)
             if durable:
+                io_site(SITE_JOURNAL_FSYNC, self.path)
                 t0 = time.perf_counter()
                 try:
                     os.fsync(self._handle.fileno())
-                except OSError:  # pragma: no cover - exotic filesystems
-                    pass
+                except OSError as exc:
+                    self.fsync_errors += 1
+                    ioutil.FSYNC_ERRORS.inc()
+                    if exc.errno == errno.ENOSPC:
+                        raise
+                    # Other fsync errors stay best-effort (exotic
+                    # filesystems), but are now counted, not invisible.
                 self.fsync_us.observe(
                     (time.perf_counter() - t0) * 1e6)
+                io_site(SITE_JOURNAL_SYNCED, self.path)
         return batch
 
     def close(self) -> None:

@@ -46,11 +46,29 @@ RUN_CANCELLED = "cancelled"
 TERMINAL_RUN_STATES = frozenset({RUN_DONE, RUN_FAILED, RUN_CANCELLED})
 TERMINAL_SUB_STATES = frozenset({SUB_DONE, SUB_FAILED, SUB_CANCELLED})
 
+# Service health states (GET /healthz).
+HEALTH_OK = "ok"
+#: Still writable, but something is off — recent journal write errors
+#: or backlog near the admission watermark.
+HEALTH_DEGRADED = "degraded"
+#: Durability lost (disk full / persistent journal failure): submits
+#: are refused 503 + Retry-After; reads are still served; an automatic
+#: probe returns the service to ``ok`` when the disk heals.
+HEALTH_READ_ONLY = "read_only"
+
+HEALTH_STATES = (HEALTH_OK, HEALTH_DEGRADED, HEALTH_READ_ONLY)
+
 
 class ServeError(Exception):
-    """Base class for queue/service errors (HTTP-mapped by the API)."""
+    """Base class for queue/service errors (HTTP-mapped by the API).
+
+    ``retry_after`` (seconds, or None) is surfaced by the API as a
+    ``Retry-After`` header plus a ``retry_after`` field in the error
+    body — the signal the client retry budget keys off.
+    """
 
     http_status = 400
+    retry_after: Optional[float] = None
 
 
 class UnknownJobError(ServeError):
@@ -59,6 +77,33 @@ class UnknownJobError(ServeError):
 
 class QuotaExceededError(ServeError):
     http_status = 429
+
+
+class ServiceUnavailableError(ServeError):
+    """The queue cannot accept writes right now (read-only after a
+    durability loss, or a journal append just failed). Safe to retry
+    after ``retry_after`` seconds."""
+
+    http_status = 503
+
+    def __init__(self, message: str,
+                 retry_after: Optional[float] = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BacklogExceededError(ServeError):
+    """Admission control: the global queued-run backlog is at the
+    watermark. Distinct from :class:`QuotaExceededError` (a per-tenant
+    policy refusal, not retryable) — this one carries ``retry_after``
+    because the backlog drains."""
+
+    http_status = 429
+
+    def __init__(self, message: str,
+                 retry_after: Optional[float] = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class StaleLeaseError(ServeError):

@@ -33,6 +33,7 @@ Crash recovery invariants:
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import threading
@@ -40,6 +41,8 @@ import time
 from collections import Counter
 from typing import Any, Dict, List, Optional
 
+from repro import ioutil
+from repro.iohooks import SITE_PROBE_FSYNC, SITE_PROBE_WRITE, io_site
 from repro.ioutil import atomic_write_json
 from repro.obs.flight import FlightRecorder
 from repro.obs.promtext import (Family, histogram_family,
@@ -52,12 +55,15 @@ from repro.orchestrate.jobspec import JobSpec
 from repro.orchestrate.scheduler import DETERMINISTIC_KINDS
 
 from repro.serve.journal import Journal, journal_path
-from repro.serve.model import (RUN_CANCELLED, RUN_DONE, RUN_FAILED,
+from repro.serve.model import (HEALTH_DEGRADED, HEALTH_OK,
+                               HEALTH_READ_ONLY, HEALTH_STATES,
+                               RUN_CANCELLED, RUN_DONE, RUN_FAILED,
                                RUN_LEASED, RUN_QUEUED, SUB_CANCELLED,
                                SUB_DONE, SUB_FAILED, SUB_QUEUED,
-                               TERMINAL_RUN_STATES, QuotaExceededError,
-                               Run, StaleLeaseError, Submission,
-                               UnknownJobError)
+                               TERMINAL_RUN_STATES, BacklogExceededError,
+                               QuotaExceededError, Run,
+                               ServiceUnavailableError, StaleLeaseError,
+                               Submission, UnknownJobError)
 
 __all__ = ["JobQueue"]
 
@@ -71,6 +77,9 @@ class JobQueue:
                  default_quota: int = 0,
                  quotas: Optional[Dict[str, int]] = None,
                  max_queued_per_tenant: int = 0,
+                 max_queued_runs: int = 0,
+                 probe_interval_s: float = 1.0,
+                 read_only_after: int = 3,
                  checkpoint_every: int = 2000,
                  checkpoint_ring: int = 4,
                  flight_capacity: int = 256,
@@ -88,6 +97,15 @@ class JobQueue:
         self.quotas = dict(quotas or {})
         #: Per-tenant max live (non-terminal) submissions (0 = unlimited).
         self.max_queued_per_tenant = max_queued_per_tenant
+        #: Global admission watermark: max queued (leasable) runs across
+        #: all tenants (0 = unlimited). Above it submits get 429 +
+        #: Retry-After — the backlog drains, retry later.
+        self.max_queued_runs = max_queued_runs
+        #: How often the read-only auto-recovery probe may touch disk.
+        self.probe_interval_s = probe_interval_s
+        #: Consecutive journal write failures before the queue stops
+        #: accepting writes (ENOSPC short-circuits to read-only at once).
+        self.read_only_after = max(1, read_only_after)
         self.checkpoint_every = checkpoint_every
         self.checkpoint_ring = checkpoint_ring
 
@@ -112,6 +130,14 @@ class JobQueue:
         self.workers: Dict[str, Dict[str, Any]] = {}
         self.counters: Counter = Counter()
         self.draining = False
+        #: Health state machine (see :func:`healthz`): ok | degraded |
+        #: read_only. ``degraded`` is computed, ``read_only`` is sticky
+        #: until the recovery probe succeeds.
+        self.health = HEALTH_OK
+        self.read_only_since = 0.0
+        self._read_only_reason = ""
+        self._journal_fail_streak = 0
+        self._last_probe_t = 0.0
         self._seq = 0          # run FIFO order
         self._sub_seq = 0      # submission id counter
         self._replaying = False
@@ -128,16 +154,141 @@ class JobQueue:
     def _event(self, kind: str, job_key: str, label: str = "",
                **detail: Any) -> None:
         """Record + flush (the stream endpoints tail this file live);
-        suppressed during replay so restarts don't duplicate history."""
+        suppressed during replay so restarts don't duplicate history.
+        Event-log IO trouble (a full disk) must never fail the
+        transition being narrated — dropped events are counted and the
+        flight ring (memory-only) still gets the record."""
         if self._replaying:
             return
-        self.events.record(kind, job_key, label, **detail)
-        self.events.flush()
+        try:
+            self.events.record(kind, job_key, label, **detail)
+            self.events.flush()
+        except OSError:
+            self.counters["dropped_events"] += 1
         self.flight.record(kind, job_key=job_key, label=label, **detail)
 
     def _journal_op(self, op: str, **fields: Any) -> None:
-        if not self._replaying:
+        """Journal a non-ack transition (lease / requeue / commit /
+        fail / cancel / drain). A write failure here is *noted* for the
+        health machinery but never propagated: the in-memory mutation
+        already happened, and replay reconstructs every one of these
+        conservatively (an unjournaled lease requeues; an unjournaled
+        commit replays via the cache-put-before-commit fixup)."""
+        if self._replaying:
+            return
+        try:
             self._journal.append(op, **fields)
+            self._note_journal_ok()
+        except OSError as exc:
+            self._note_io_failure(exc, f"journal[{op}]")
+
+    # ------------------------------------------------------------ health
+
+    def _note_journal_ok(self) -> None:
+        self._journal_fail_streak = 0
+
+    def _note_io_failure(self, exc: OSError, where: str) -> None:
+        """Account one journal/cache write failure; trip read-only on
+        ENOSPC (definitively a full disk) or a persistent streak."""
+        self._journal_fail_streak += 1
+        self.counters["journal_write_errors"] += 1
+        if exc.errno == errno.ENOSPC or \
+                self._journal_fail_streak >= self.read_only_after:
+            self._enter_read_only(f"{where}: {exc}")
+
+    def _enter_read_only(self, reason: str) -> None:
+        if self.health == HEALTH_READ_ONLY:
+            return
+        self.health = HEALTH_READ_ONLY
+        self._read_only_reason = reason
+        self.read_only_since = time.time()
+        self.counters["health_to_read_only"] += 1
+        self._event("health", "", "entering read-only", state=self.health,
+                    reason=reason)
+
+    def _probe_disk(self) -> bool:
+        """Can we write durably again? One scratch write + fsync under
+        the service root, routed through the same fault sites as real
+        writes so an injected 'full disk' keeps failing the probe."""
+        probe = os.path.join(self.root, ".health-probe")
+        try:
+            io_site(SITE_PROBE_WRITE, probe, size=8)
+            with open(probe, "w") as handle:
+                handle.write("healthy\n")
+                handle.flush()
+                io_site(SITE_PROBE_FSYNC, probe)
+                os.fsync(handle.fileno())
+            os.unlink(probe)
+            return True
+        except OSError:
+            self.counters["probe_failures"] += 1
+            return False
+
+    def health_probe(self, now: Optional[float] = None) -> str:
+        """Housekeeping hook: while read-only, periodically test the
+        disk and return to ``ok`` once writes succeed again. Returns
+        the (possibly updated) health state."""
+        now = time.time() if now is None else now
+        with self._lock:
+            if self.health != HEALTH_READ_ONLY:
+                return self.health
+            if now - self._last_probe_t < self.probe_interval_s:
+                return self.health
+            self._last_probe_t = now
+            if self._probe_disk():
+                self.health = HEALTH_OK
+                self._read_only_reason = ""
+                self.read_only_since = 0.0
+                self._journal_fail_streak = 0
+                self.counters["health_recoveries"] += 1
+                self._event("health", "", "recovered to ok",
+                            state=self.health)
+            return self.health
+
+    def _queued_runs(self) -> int:
+        return sum(1 for run in self.runs.values()
+                   if run.state == RUN_QUEUED)
+
+    def _health_reasons(self) -> List[str]:
+        reasons: List[str] = []
+        if self.health == HEALTH_READ_ONLY:
+            reasons.append(self._read_only_reason or
+                           "persistent journal write failure")
+            return reasons
+        if self._journal_fail_streak > 0:
+            reasons.append(
+                f"{self._journal_fail_streak} recent journal write "
+                f"error(s)")
+        if self.max_queued_runs:
+            queued = self._queued_runs()
+            if queued >= 0.8 * self.max_queued_runs:
+                reasons.append(
+                    f"backlog {queued}/{self.max_queued_runs} near "
+                    f"admission watermark")
+        return reasons
+
+    def healthz(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` document (see docs/serving.md)."""
+        with self._lock:
+            reasons = self._health_reasons()
+            state = self.health
+            if state == HEALTH_OK and reasons:
+                state = HEALTH_DEGRADED
+            doc: Dict[str, Any] = {
+                "state": state,
+                "reasons": reasons,
+                "draining": self.draining,
+                "queued_runs": self._queued_runs(),
+                "leased_runs": sum(1 for r in self.runs.values()
+                                   if r.state == RUN_LEASED),
+                "watermark": {"max_queued_runs": self.max_queued_runs},
+                "read_only_since": (self.read_only_since
+                                    if self.health == HEALTH_READ_ONLY
+                                    else None),
+            }
+            if state == HEALTH_READ_ONLY:
+                doc["retry_after_s"] = self.probe_interval_s
+            return doc
 
     def quota_for(self, tenant: str) -> int:
         return self.quotas.get(tenant, self.default_quota)
@@ -180,13 +331,29 @@ class JobQueue:
             raise ValueError(f"bad tenant name {tenant!r}")
         specs = [JobSpec.from_dict(d) for d in spec_dicts]
         with self._lock:
+            if not self._replaying and self.health == HEALTH_READ_ONLY:
+                self.counters["rejected_read_only"] += 1
+                raise ServiceUnavailableError(
+                    f"queue is read-only "
+                    f"({self._read_only_reason or 'durability lost'}); "
+                    f"retry after recovery",
+                    retry_after=self.probe_interval_s)
             if self.max_queued_per_tenant:
                 live = self._live_submissions(tenant)
                 if live + len(specs) > self.max_queued_per_tenant:
+                    self.counters["rejected_quota"] += 1
                     raise QuotaExceededError(
                         f"tenant {tenant!r} would have {live + len(specs)} "
                         f"live submissions "
                         f"(max {self.max_queued_per_tenant})")
+            if self.max_queued_runs and not self._replaying:
+                queued = self._queued_runs()
+                if queued + len(specs) > self.max_queued_runs:
+                    self.counters["rejected_backlog"] += 1
+                    raise BacklogExceededError(
+                        f"queued-run backlog {queued} + {len(specs)} "
+                        f"would exceed watermark {self.max_queued_runs}",
+                        retry_after=1.0)
             entries = []
             views = []
             for spec in specs:
@@ -198,7 +365,17 @@ class JobQueue:
                          "trace": mint_trace_id(), "t": time.time()}
                 entries.append(entry)
             if not self._replaying:
-                self._journal.append_many(entries)
+                # The ack contract: a submission is durable before it is
+                # acknowledged. If the append fails the caller gets 503
+                # and *no* state changed — nothing was applied yet.
+                try:
+                    self._journal.append_many(entries)
+                    self._note_journal_ok()
+                except OSError as exc:
+                    self._note_io_failure(exc, "journal[submit]")
+                    raise ServiceUnavailableError(
+                        f"submission not journaled: {exc}",
+                        retry_after=self.probe_interval_s) from exc
             for entry in entries:
                 views.append(self._apply_submit(entry).view(
                     self.runs.get(entry["job_key"])))
@@ -278,6 +455,10 @@ class JobQueue:
         with self._lock:
             self._touch_worker(worker_id)
             if self.draining:
+                return None
+            if self.health == HEALTH_READ_ONLY:
+                # A commit needs cache + journal writes; don't hand out
+                # work that can only end in a failed publish.
                 return None
             run = self._pick()
             if run is None:
@@ -445,7 +626,16 @@ class JobQueue:
                     f"(state={run.state}, presented gen {token}, "
                     f"current {run.generation})")
             spec = run.job_spec()
-            self.cache.put(spec, record)
+            try:
+                self.cache.put(spec, record)
+            except OSError as exc:
+                # Result not durable: leave the lease intact (the
+                # worker retries the commit or lets the lease expire —
+                # either way the run is not lost) and let health trip.
+                self._note_io_failure(exc, "cache[put]")
+                raise ServiceUnavailableError(
+                    f"result not persisted: {exc}",
+                    retry_after=self.probe_interval_s) from exc
             meta = record.get("meta", {})
             resumed = meta.get("resumed_from")
             worker = run.worker or ""
@@ -657,6 +847,8 @@ class JobQueue:
                           if run.state == RUN_LEASED and run.t_leased > 0]
             return {
                 "draining": self.draining,
+                "health": self.health,
+                "health_reasons": self._health_reasons(),
                 "uptime_s": now - self.started_at,
                 "runs": {"total": len(self.runs), **dict(run_states)},
                 "submissions": {"total": len(self.subs),
@@ -806,11 +998,49 @@ class JobQueue:
             flight.add(self.flight.payload()["recorded"])
             fams.append(flight)
 
+            health = Family("repro_health_state", "gauge",
+                            "Service health (1 on the current state's "
+                            "sample, 0 elsewhere).")
+            current = self.healthz_state_unlocked()
+            for state in HEALTH_STATES:
+                health.add(1 if state == current else 0, state=state)
+            fams.append(health)
+
+            fsync_errs = Family("repro_io_fsync_errors_total", "counter",
+                                "Failed fsyncs by layer (ioutil counts "
+                                "process-wide; journal counts this "
+                                "queue's journal).")
+            fsync_errs.add(ioutil.FSYNC_ERRORS.value, layer="ioutil")
+            fsync_errs.add(self._journal.fsync_errors, layer="journal")
+            fams.append(fsync_errs)
+
+            rejects = Family("repro_submit_rejections_total", "counter",
+                             "Submissions refused by admission control, "
+                             "by reason.")
+            for reason in ("read_only", "backlog", "quota"):
+                rejects.add(self.counters.get(f"rejected_{reason}", 0),
+                            reason=reason)
+            fams.append(rejects)
+
+            degrade = Family("repro_degradation_events_total", "counter",
+                             "Health-state machinery activity.")
+            for kind in ("health_to_read_only", "health_recoveries",
+                         "probe_failures", "journal_write_errors",
+                         "dropped_events"):
+                degrade.add(self.counters.get(kind, 0), kind=kind)
+            fams.append(degrade)
+
             fams.append(histogram_family(
                 "repro_journal_fsync_microseconds",
                 "Journal fsync latency (the service's write-side "
                 "durability floor).", self._journal.fsync_us))
             return fams
+
+    def healthz_state_unlocked(self) -> str:
+        """Current effective health state; caller holds the lock."""
+        if self.health == HEALTH_OK and self._health_reasons():
+            return HEALTH_DEGRADED
+        return self.health
 
     def prometheus_text(self) -> str:
         return render_prometheus(self.prometheus_families())

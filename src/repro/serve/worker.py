@@ -30,11 +30,13 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import signal
 import subprocess
 import sys
 import threading
 import time
+import zlib
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -176,9 +178,16 @@ class Worker:
                  poll_s: float = 0.2, max_jobs: int = 0,
                  exit_on_drain: bool = False,
                  kill_after_boundaries: int = 0,
+                 retries: int = 4,
                  verbose: bool = False) -> None:
-        self.client = ServeClient(server_url)
         self.worker_id = worker_id or f"worker-{os.getpid()}"
+        # Seed the retry jitter from the worker id so a crashed-and-
+        # restarted worker replays the same backoff schedule — chaos
+        # campaigns stay reproducible across the whole fleet.
+        seed = zlib.crc32(self.worker_id.encode())
+        self.client = ServeClient(server_url, retries=retries,
+                                  retry_seed=seed)
+        self._backoff_rng = random.Random(seed ^ 0xB0FF)
         self.poll_s = poll_s
         self.max_jobs = max_jobs
         self.exit_on_drain = exit_on_drain
@@ -194,16 +203,26 @@ class Worker:
         if self.verbose:
             print(f"[{self.worker_id}] {message}", flush=True)
 
+    def _lease_backoff(self, consecutive_errors: int) -> float:
+        """Jittered exponential backoff for lease-loop trouble: a
+        flapping or read-only service sees the fleet ease off instead
+        of hammering it in lockstep at ``poll_s``."""
+        base = min(self.poll_s * (2 ** min(consecutive_errors, 5)), 5.0)
+        return base * (0.5 + 0.5 * self._backoff_rng.random())
+
     def run(self) -> int:
         """Loop until drained (with ``exit_on_drain``) or ``max_jobs``.
         Transient server unavailability is retried, not fatal."""
+        errors = 0
         while True:
             try:
                 doc = self.client.request("POST", "/v1/worker/lease",
                                           {"worker": self.worker_id})
             except (ServeHTTPError, OSError):
-                time.sleep(self.poll_s)
+                errors += 1
+                time.sleep(self._lease_backoff(errors))
                 continue
+            errors = 0
             if doc.get("idle"):
                 if doc.get("draining") and self.exit_on_drain:
                     self._log("drained; exiting")
@@ -240,7 +259,8 @@ class Worker:
             beat.join(timeout=1.0)
             kind = classify_failure(exc)
             self._log(f"failed {job_key[:12]}: [{kind}] {exc}")
-            self.flight.record("failed", job_key=job_key[:12], kind=kind)
+            self.flight.record("failed", job_key=job_key[:12],
+                               failure_kind=kind)
             try:
                 self.client.fail(job_key, token, kind, str(exc))
             except (StaleLeaseError, ServeHTTPError, OSError):

@@ -590,3 +590,126 @@ class TestServeEventsOnDisk:
             == ["queued", "started", "finished"]
         assert all(e["job_key"] == spec.job_key() for e in events)
         queue.close()
+
+
+# Satellite of the chaos PR: replay must tolerate exactly the journals
+# the fault shims and crash points produce — duplicated ops from client
+# retries, and a final record torn at any byte offset.
+class TestJournalReplayEdges:
+    @staticmethod
+    def _submit_entry(sub_id, spec, tenant="alice"):
+        return {"op": "submit", "sub": sub_id, "tenant": tenant,
+                "priority": 0, "job_key": spec.job_key(),
+                "spec": spec.to_dict(), "t": 123.0}
+
+    @staticmethod
+    def _write_journal(tmp_path, entries, tail=""):
+        root = str(tmp_path / "serve")
+        os.makedirs(root, exist_ok=True)
+        with open(journal_path(root), "w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.write(tail)
+
+    def test_duplicate_submit_lines_collapse(self, tmp_path):
+        # A retried submit whose first journal append *did* land: the
+        # same line twice. Replay must not mint a second run.
+        spec = spec_for()
+        entry = self._submit_entry("alice-0000001", spec)
+        self._write_journal(tmp_path, [entry, entry])
+        queue = make_queue(tmp_path)
+        assert len(queue.subs) == 1
+        assert len(queue.runs) == 1
+        assert queue.runs[spec.job_key()].state == RUN_QUEUED
+        queue.close()
+
+    def test_retried_submit_under_fresh_id_dedups_onto_run(self, tmp_path):
+        # The server-side dedup story: a retry acknowledged under a new
+        # submission id still rides the same content-addressed run.
+        spec = spec_for()
+        self._write_journal(tmp_path, [
+            self._submit_entry("alice-0000001", spec),
+            self._submit_entry("alice-0000002", spec),
+        ])
+        queue = make_queue(tmp_path)
+        assert len(queue.subs) == 2
+        assert len(queue.runs) == 1
+        queue.close()
+
+    def test_duplicate_commit_lines_commit_once(self, tmp_path):
+        spec = spec_for()
+        commit = {"op": "commit", "job_key": spec.job_key(), "gen": 1}
+        self._write_journal(tmp_path, [
+            self._submit_entry("alice-0000001", spec),
+            {"op": "lease", "job_key": spec.job_key(), "gen": 1,
+             "attempt": 1, "expires": 456.0},
+            commit, commit,
+        ])
+        queue = make_queue(tmp_path)
+        run = queue.runs[spec.job_key()]
+        assert run.state == RUN_DONE
+        assert run.commits == 1
+        queue.close()
+
+    def test_stray_ops_for_unknown_or_unleased_runs_ignored(self, tmp_path):
+        spec = spec_for()
+        self._write_journal(tmp_path, [
+            self._submit_entry("alice-0000001", spec),
+            {"op": "requeue", "job_key": spec.job_key()},   # never leased
+            {"op": "lease", "job_key": "no-such-key", "gen": 1},
+            {"op": "frobnicate", "job_key": spec.job_key()},  # unknown op
+        ])
+        queue = make_queue(tmp_path)
+        run = queue.runs[spec.job_key()]
+        assert run.state == RUN_QUEUED
+        assert run.requeues == 0
+        assert "no-such-key" not in queue.runs
+        queue.close()
+
+
+# The final journal record a crash tears, truncated at *every* byte
+# offset: replay must return exactly the complete prefix each time.
+_TORN_FINAL = json.dumps({"gen": 1, "job_key": "k2", "op": "commit"},
+                         sort_keys=True) + "\n"
+
+
+class TestJournalTornTails:
+    _COMPLETE = [{"op": "submit", "sub": "t-1", "job_key": "k1"},
+                 {"op": "lease", "job_key": "k1", "gen": 1}]
+
+    @pytest.mark.parametrize("cut", range(len(_TORN_FINAL)))
+    def test_mid_record_torn_tail(self, tmp_path, cut):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as handle:
+            for entry in self._COMPLETE:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.write(_TORN_FINAL[:cut])
+        entries = Journal.replay(path)
+        assert [e["op"] for e in entries] == ["submit", "lease"], \
+            f"cut at byte {cut} corrupted the complete prefix"
+
+    def test_untorn_final_record_replays(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as handle:
+            for entry in self._COMPLETE:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.write(_TORN_FINAL)
+        assert [e["op"] for e in Journal.replay(path)] \
+            == ["submit", "lease", "commit"]
+
+    def test_queue_opens_on_torn_journal(self, tmp_path):
+        # The integration-level promise: a queue whose journal was torn
+        # mid-commit opens, and the half-committed run is still leasable.
+        spec = spec_for()
+        torn_commit = json.dumps(
+            {"op": "commit", "job_key": spec.job_key(), "gen": 1},
+            sort_keys=True)[:20]
+        TestJournalReplayEdges._write_journal(
+            tmp_path,
+            [TestJournalReplayEdges._submit_entry("alice-0000001", spec)],
+            tail=torn_commit)
+        queue = make_queue(tmp_path)
+        assert queue.runs[spec.job_key()].state == RUN_QUEUED
+        lease = queue.lease("w1")
+        assert lease is not None and lease["job_key"] == spec.job_key()
+        queue.close()
