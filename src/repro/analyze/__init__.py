@@ -18,6 +18,7 @@ records; the ``repro-analyze`` CLI (:mod:`repro.analyze.cli`) fronts
 them for CI.
 """
 
+from repro.analyze.coverage import lint_spec_coverage
 from repro.analyze.findings import Finding, Report, Severity
 from repro.analyze.hb import HBEngine, RaceMonitor, analyze_trace
 from repro.analyze.linter import (DEFAULT_WORKLOADS, PRIMITIVE_SPECS,
@@ -30,4 +31,5 @@ __all__ = [
     "HBEngine", "RaceMonitor", "analyze_trace",
     "PrimitiveSpec", "PRIMITIVE_SPECS", "DEFAULT_WORKLOADS",
     "lint_all", "lint_primitive", "lint_workload",
+    "lint_spec_coverage",
 ]

@@ -19,6 +19,16 @@ Usage::
     # The same, post-hoc over a recorded memory-op trace.
     repro-analyze race --trace ops.jsonl --style cb_one
 
+    # Model-check every protocol's transition tables at 2 and 3 cores.
+    repro-analyze mc
+
+    # Prove the checker flags the seeded-bad mutant tables, replaying
+    # each counterexample through the real protocol structures.
+    repro-analyze mc --mutants --verify-replay
+
+    # Re-execute an archived counterexample trace (bit-parity asserted).
+    repro-analyze mc --replay cex/callback-mutex2-cb_st1_wake_dropped.json
+
     # Merge archived findings files and summarize (exit 1 on errors).
     repro-analyze report lint.json race.json
 
@@ -152,6 +162,111 @@ def cmd_race(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_mc(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from repro.analyze.findings import Finding, Severity
+    from repro.analyze.mc import (CheckConfig, ReplayError, check,
+                                  check_mutants, replay_counterexample,
+                                  scenario_catalog)
+
+    report = Report()
+    cfg = CheckConfig(max_states=args.max_states)
+    chatty = not args.json
+
+    def _dump_cex(cex: Any) -> Optional[str]:
+        if not args.cex_dir:
+            return None
+        os.makedirs(args.cex_dir, exist_ok=True)
+        tag = f"-{cex.mutant}" if cex.mutant else ""
+        path = os.path.join(
+            args.cex_dir, f"{cex.protocol}-{cex.scenario}{tag}.json")
+        with open(path, "w") as handle:
+            handle.write(cex.dumps() + "\n")
+        return path
+
+    if args.replay:
+        with open(args.replay) as handle:
+            payload = json_mod.load(handle)
+        try:
+            replayed = replay_counterexample(payload)
+            if chatty:
+                print(replayed.summary())
+        except ReplayError as exc:
+            report.add(Finding(
+                rule="MC-E403", severity=Severity.ERROR,
+                message=str(exc), file=args.replay))
+        _emit(report, args)
+        return 0 if report.ok else 1
+
+    if args.mutants:
+        for outcome in check_mutants(config=cfg):
+            mutant = outcome.mutant
+            cex = outcome.result.counterexample
+            if chatty:
+                verdict = "ok" if outcome.ok else "MISSED"
+                steps = len(cex.steps) if cex else 0
+                print(f"mutant {mutant.name}: {verdict} — "
+                      f"{mutant.protocol}/{mutant.scenario}, "
+                      f"flagged={outcome.invariant or '-'} "
+                      f"expected={outcome.expected} ({steps} steps)")
+            if not outcome.ok:
+                report.add(Finding(
+                    rule="MC-E402", severity=Severity.ERROR,
+                    message=(f"mutant {mutant.name} "
+                             f"({mutant.protocol}/{mutant.scenario}): "
+                             f"caught={outcome.caught} "
+                             f"invariant={outcome.invariant!r} "
+                             f"expected={outcome.expected!r} "
+                             f"clean_ok={outcome.clean_ok}"),
+                    primitive=mutant.scenario, style=mutant.protocol))
+                continue
+            path = _dump_cex(cex)
+            if args.verify_replay:
+                try:
+                    replayed = replay_counterexample(cex)
+                    if chatty:
+                        print("  " + replayed.summary())
+                except ReplayError as exc:
+                    report.add(Finding(
+                        rule="MC-E403", severity=Severity.ERROR,
+                        message=f"mutant {mutant.name}: {exc}",
+                        primitive=mutant.scenario, style=mutant.protocol,
+                        file=path))
+        _emit(report, args)
+        return 0 if report.ok else 1
+
+    cores = tuple(args.cores) if args.cores else (2, 3)
+    for scenario in scenario_catalog(cores):
+        if args.protocol and scenario.protocol not in args.protocol:
+            continue
+        if args.scenario and scenario.name != args.scenario:
+            continue
+        result = check(scenario, config=cfg)
+        if chatty:
+            print(result.summary())
+        if result.truncated:
+            report.add(Finding(
+                rule="MC-W401", severity=Severity.WARNING,
+                message=(f"{scenario.protocol}/{scenario.name}: "
+                         f"exploration truncated at {result.states} "
+                         f"states (--max-states {cfg.max_states})"),
+                primitive=scenario.name, style=scenario.protocol))
+        if not result.ok:
+            cex = result.counterexample
+            path = _dump_cex(cex) if cex else None
+            report.add(Finding(
+                rule="MC-E401", severity=Severity.ERROR,
+                message=(f"{scenario.protocol}/{scenario.name}: "
+                         f"{cex.invariant if cex else 'violation'} — "
+                         f"{cex.message if cex else 'stuck state'}"),
+                primitive=scenario.name, style=scenario.protocol,
+                file=path))
+    _emit(report, args)
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     merged = Report()
     for path in args.files:
@@ -216,6 +331,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     race.add_argument("--json", action="store_true")
     race.add_argument("--out", default=None)
     race.set_defaults(fn=cmd_race)
+
+    mc = sub.add_parser(
+        "mc", help="model-check protocol FSMs from their transition "
+                   "tables")
+    mc.add_argument("--protocol", action="append", default=[],
+                    help="protocol family to sweep (mesi/vips/callback; "
+                         "repeatable; default all)")
+    mc.add_argument("--scenario", default=None,
+                    help="single scenario name, e.g. mutex2")
+    mc.add_argument("--cores", action="append", type=int, default=[],
+                    help="core counts to sweep (repeatable; default 2 3)")
+    mc.add_argument("--max-states", type=int, default=250_000,
+                    help="exploration budget per scenario")
+    mc.add_argument("--mutants", action="store_true",
+                    help="run the seeded-bad mutant gate instead of the "
+                         "clean sweep")
+    mc.add_argument("--verify-replay", action="store_true",
+                    help="with --mutants: replay every counterexample "
+                         "through the real protocol structures")
+    mc.add_argument("--replay", default=None, metavar="FILE",
+                    help="re-execute a counterexample JSON through the "
+                         "real simulator structures")
+    mc.add_argument("--cex-dir", default=None,
+                    help="write counterexample JSON files here")
+    mc.add_argument("--json", action="store_true")
+    mc.add_argument("--out", default=None,
+                    help="write findings JSON to this file")
+    mc.set_defaults(fn=cmd_mc)
 
     report = sub.add_parser(
         "report", help="merge and summarize archived findings files")

@@ -1,0 +1,51 @@
+"""Spec-coverage lint: every registered artifact has its analysis twin.
+
+Two registries anchor the repo's checkers:
+
+* :data:`repro.sync.registry.REGISTERED_PRIMITIVES` — the primitives the
+  factories can build. Each must carry a
+  :class:`~repro.analyze.linter.PrimitiveSpec`, otherwise the static
+  Table-1 linter silently never drives it (**CB-A210**).
+* :data:`repro.protocols.PROTOCOL_REGISTRY` — the protocol backends.
+  Each must register at least one declarative
+  :class:`~repro.protocols.table.TransitionTable`, otherwise the model
+  checker (``repro-analyze mc``) cannot explore it and the live FSM has
+  no single declarative source (**CB-A211**).
+
+Both rules sit in the historical A2xx (advisory) ID range but are
+ERROR severity: a gap here means a whole artifact escapes analysis, not
+a style nit. The lint runs as part of ``repro-analyze lint`` and is
+cheap (pure registry introspection, no simulation).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.findings import Finding, Report, Severity
+from repro.analyze.linter import PRIMITIVE_SPECS
+from repro.protocols import PROTOCOL_REGISTRY, tables_for
+from repro.sync.registry import REGISTERED_PRIMITIVES
+
+
+def lint_spec_coverage() -> Report:
+    """Cross-check the sync and protocol registries against their
+    analysis counterparts (rules CB-A210 / CB-A211)."""
+    report = Report()
+    for name in REGISTERED_PRIMITIVES:
+        if name not in PRIMITIVE_SPECS:
+            report.add(Finding(
+                rule="CB-A210", severity=Severity.ERROR,
+                message=(f"primitive {name!r} is registered in "
+                         "repro.sync.registry but has no PrimitiveSpec; "
+                         "the Table-1 linter never drives it"),
+                primitive=name))
+    for name in PROTOCOL_REGISTRY:
+        tables = tables_for(name)
+        if not tables:
+            report.add(Finding(
+                rule="CB-A211", severity=Severity.ERROR,
+                message=(f"protocol {name!r} is registered in "
+                         "PROTOCOL_REGISTRY but registered no "
+                         "TransitionTable; the model checker cannot "
+                         "explore it"),
+                primitive=name))
+    return report

@@ -13,7 +13,7 @@ These classes must never be registered in ``repro.sync.registry``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Any, Dict, Generator, List, Mapping
 
 from repro.protocols.ops import (Atomic, AtomicKind, BackoffWait, Fence,
                                  FenceKind, LdKind, Load, LoadCB,
@@ -24,6 +24,9 @@ from repro.sync.base import SyncPrimitive, SyncStyle
 from repro.analyze.linter import (ALL_STYLES, PrimitiveSpec, _LOCK,
                                   lint_primitive)
 from repro.analyze.rules import SessionKind, WakeupDiscipline
+
+#: An encoding session body: yields memory ops, receives their results.
+OpGen = Generator[Any, Any, None]
 
 
 class PlainSpinLock(SyncPrimitive):
@@ -37,11 +40,11 @@ class PlainSpinLock(SyncPrimitive):
         super().__init__(style)
         self.addr = -1
 
-    def setup(self, layout, num_threads: int) -> None:
+    def setup(self, layout: Any, num_threads: int) -> None:
         self.addr = layout.alloc_sync_word()
         self._ready = True
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: Any) -> OpGen:
         self._require_ready()
         st = StKind.CB0 if self.style is SyncStyle.CB_ONE else StKind.CBA
         while True:
@@ -55,7 +58,7 @@ class PlainSpinLock(SyncPrimitive):
         if self.style is not SyncStyle.MESI:
             yield Fence(FenceKind.SELF_INVL)
 
-    def release(self, ctx):
+    def release(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             yield Store(self.addr, 0)
@@ -79,11 +82,11 @@ class NoFenceLock(SyncPrimitive):
         super().__init__(style)
         self.addr = -1
 
-    def setup(self, layout, num_threads: int) -> None:
+    def setup(self, layout: Any, num_threads: int) -> None:
         self.addr = layout.alloc_sync_word()
         self._ready = True
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             while not (yield Atomic(self.addr, AtomicKind.TAS,
@@ -105,7 +108,7 @@ class NoFenceLock(SyncPrimitive):
                                       ld=LdKind.CB, st=st)
             # BUG: missing Fence(SELF_INVL)
 
-    def release(self, ctx):
+    def release(self, ctx: Any) -> OpGen:
         self._require_ready()
         # BUG: no Fence(SELF_DOWN) before the releasing write.
         if self.style is SyncStyle.MESI:
@@ -128,14 +131,14 @@ class BroadcastSignal(SyncPrimitive):
         super().__init__(style)
         self.flag_addr = -1
 
-    def setup(self, layout, num_threads: int) -> None:
+    def setup(self, layout: Any, num_threads: int) -> None:
         self.flag_addr = layout.alloc_sync_word()
         self._ready = True
 
     def initial_values(self) -> dict:
         return {self.flag_addr: 0}
 
-    def signal(self, ctx):
+    def signal(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             yield Atomic(self.flag_addr, AtomicKind.FETCH_ADD, (1,))
@@ -145,7 +148,7 @@ class BroadcastSignal(SyncPrimitive):
         yield Atomic(self.flag_addr, AtomicKind.FETCH_ADD, (1,),
                      ld=LdKind.PLAIN, st=StKind.CBA)
 
-    def wait(self, ctx):
+    def wait(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             while True:
@@ -188,11 +191,11 @@ class UnguardedCBLock(SyncPrimitive):
         super().__init__(style)
         self.addr = -1
 
-    def setup(self, layout, num_threads: int) -> None:
+    def setup(self, layout: Any, num_threads: int) -> None:
         self.addr = layout.alloc_sync_word()
         self._ready = True
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             while not (yield Atomic(self.addr, AtomicKind.TAS,
@@ -218,7 +221,7 @@ class UnguardedCBLock(SyncPrimitive):
                 break
         yield Fence(FenceKind.SELF_INVL)
 
-    def release(self, ctx):
+    def release(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             yield Store(self.addr, 0)
@@ -243,11 +246,11 @@ class DroppedWakeupLock(SyncPrimitive):
         super().__init__(style)
         self.addr = -1
 
-    def setup(self, layout, num_threads: int) -> None:
+    def setup(self, layout: Any, num_threads: int) -> None:
         self.addr = layout.alloc_sync_word()
         self._ready = True
 
-    def acquire(self, ctx):
+    def acquire(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is SyncStyle.MESI:
             while not (yield Atomic(self.addr, AtomicKind.TAS,
@@ -269,7 +272,7 @@ class DroppedWakeupLock(SyncPrimitive):
                                   ld=LdKind.CB, st=StKind.CB0)
         yield Fence(FenceKind.SELF_INVL)
 
-    def release(self, ctx):
+    def release(self, ctx: Any) -> OpGen:
         self._require_ready()
         if self.style is not SyncStyle.MESI:
             yield Fence(FenceKind.SELF_DOWN)

@@ -433,4 +433,8 @@ def lint_all(primitives: Optional[Sequence[str]] = None,
     for name, params in (workloads or ()):
         for style in styles:
             report.merge(lint_workload(name, params, style))
+    # Imported here, not at module top: coverage imports PRIMITIVE_SPECS
+    # from this module.
+    from repro.analyze.coverage import lint_spec_coverage
+    report.merge(lint_spec_coverage())
     return report

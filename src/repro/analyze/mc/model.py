@@ -1,0 +1,782 @@
+"""The abstract machine the model checker explores.
+
+A :class:`Scenario` gives each core a finite program of protocol-neutral
+ops; :class:`AbstractMachine` interprets those programs over protocol
+state driven by the **registered transition tables** — the same
+:class:`~repro.protocols.table.TransitionTable` objects the live
+simulator executes. Timing is abstracted away (every op is atomic); the
+interleaving of ops across cores is what the checker enumerates.
+
+State layout (all values hashable once frozen)::
+
+    {
+      "store":  (v, ...)                      # per-word authoritative value
+      "cores":  ((pc, status, aux), ...)      # per-core control state
+      "cs":     int                           # critical-section bitmask
+      # MESI:
+      "l1":     (((state, snap), ...), ...)   # [core][word]
+      "dir":    (((owner, sharers), ...)      # [word] (owner None-able)
+      # VIPS / callback:
+      "l1":     (((present, shared, dirty), ...), ...)
+      # callback adds, per bank, entries in LRU order (oldest first):
+      "cbdir":  (((word, fe, cb, mode_all, rr, arrival), ...), ...)
+    }
+
+Core status: ``run`` (next op ready; ``aux`` may be ``("woken", v)``
+after a callback wakeup), ``spin`` (blocked: MESI local spin or VIPS
+LLC polling, ``aux = (word, target)``), ``parked`` (callback pending,
+``aux = (word,)``), ``done``.
+
+Ops (tuples)::
+
+    ("st", w, v)            DRF store
+    ("ld", w)               DRF load
+    ("write", w, v, mode)   racy write; mode: "all"|"one"|"zero"|"through"
+    ("await", w, v)         wait until word w reads v (protocol-specific)
+    ("fence", "invl"|"down")
+    ("acquire", w)          TAS lock acquire (+ cs shadow bit)
+    ("release", w)          lock release (st / st_through / st_cb1(0))
+
+Every :meth:`AbstractMachine.apply` also returns the list of concrete
+*actions* the step performed (directory installs, consume hits, wake
+deliveries, ...). Counterexamples record these actions; the replay
+harness re-executes them through the real protocol data structures and
+asserts bit-parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.config import WakePolicy
+from repro.protocols.base import tables_for
+from repro.protocols.table import Event, TransitionTable
+
+OpT = Tuple[Any, ...]
+Move = Tuple[str, int, Tuple[Any, ...]]  # (kind, core-or-bank, detail)
+Action = Tuple[Any, ...]
+
+RUN = "run"
+SPIN = "spin"
+PARKED = "parked"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One finite workload for the checker."""
+
+    name: str
+    protocol: str                               # "mesi" | "vips" | "callback"
+    programs: Tuple[Tuple[OpT, ...], ...]       # one program per core
+    words: int = 1
+    num_banks: int = 1
+    cb_entries: int = 4
+    wake_policy: WakePolicy = WakePolicy.FIFO
+    env_evictions: bool = False
+    invariants: Tuple[str, ...] = ()
+    initial_store: Tuple[int, ...] = ()
+    description: str = ""
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.programs)
+
+    def store0(self) -> Tuple[int, ...]:
+        if self.initial_store:
+            return self.initial_store
+        return (0,) * self.words
+
+    def symmetry_groups(self) -> List[List[int]]:
+        """Core-id orbits: cores with identical programs are
+        interchangeable — unless the wake policy is ROUND_ROBIN, whose
+        victim choice is not id-independent (the rr pointer scans core
+        ids in order), in which case every orbit is trivial."""
+        if (self.protocol == "callback"
+                and self.wake_policy is WakePolicy.ROUND_ROBIN):
+            return [[core] for core in range(self.num_cores)]
+        groups: Dict[Tuple[OpT, ...], List[int]] = {}
+        for core, program in enumerate(self.programs):
+            groups.setdefault(program, []).append(core)
+        return list(groups.values())
+
+
+@dataclass
+class StepOutcome:
+    """apply() result: successor state + the concrete actions taken."""
+
+    state: Dict[str, Any]
+    actions: Tuple[Action, ...] = ()
+
+
+def _core(state: Dict[str, Any],
+          core: int) -> Tuple[int, str, Tuple[Any, ...]]:
+    return state["cores"][core]
+
+
+def _set_core(state: Dict[str, Any], core: int, pc: int, status: str,
+              aux: Tuple[Any, ...] = ()) -> None:
+    cores = list(state["cores"])
+    cores[core] = (pc, status, aux)
+    state["cores"] = tuple(cores)
+
+
+class AbstractMachine:
+    """Interprets a scenario's programs over table-driven protocol state."""
+
+    def __init__(self, scenario: Scenario,
+                 tables: Optional[Dict[str, TransitionTable]] = None) -> None:
+        self.scenario = scenario
+        self.n = scenario.num_cores
+        registered = dict(tables_for(scenario.protocol))
+        if scenario.protocol == "callback":
+            # Callback rides on the VIPS L1 discipline for DRF data
+            # (the live CallbackProtocol subclasses VIPSProtocol).
+            registered.setdefault("l1_line", tables_for("vips")["l1_line"])
+        if tables:
+            registered.update(tables)
+        self.tables = registered
+
+    # ------------------------------------------------------------- initial
+
+    def initial(self) -> Dict[str, Any]:
+        sc = self.scenario
+        state: Dict[str, Any] = {
+            "store": sc.store0(),
+            "cores": tuple((0, RUN if sc.programs[c] else DONE, ())
+                           for c in range(self.n)),
+            "cs": 0,
+        }
+        if sc.protocol == "mesi":
+            state["l1"] = tuple(tuple(("I", 0) for _ in range(sc.words))
+                                for _ in range(self.n))
+            state["dir"] = tuple((None, frozenset()) for _ in range(sc.words))
+        else:
+            state["l1"] = tuple(tuple((False, False, False)
+                                      for _ in range(sc.words))
+                                for _ in range(self.n))
+        if sc.protocol == "callback":
+            state["cbdir"] = tuple(() for _ in range(sc.num_banks))
+        return state
+
+    # --------------------------------------------------------------- moves
+
+    def moves(self, state: Dict[str, Any]) -> List[Move]:
+        """Enabled moves, in deterministic order."""
+        sc = self.scenario
+        enabled: List[Move] = []
+        for core in range(self.n):
+            pc, status, aux = _core(state, core)
+            if status == DONE or status == PARKED:
+                continue
+            if status == SPIN:
+                word, target = aux[0], aux[1]
+                if sc.protocol == "mesi":
+                    # Local spin: runnable only once the watched copy
+                    # has been invalidated (invalidate-and-refetch).
+                    if state["l1"][core][word][0] == "I":
+                        enabled.append(("op", core, ()))
+                else:
+                    # LLC polling: a poll that would still fail is a
+                    # self-loop; only the succeeding poll changes state.
+                    if state["store"][word] == target:
+                        enabled.append(("op", core, ()))
+                continue
+            # RUN
+            op = sc.programs[core][pc]
+            for pick in range(self._op_choices(state, core, op)):
+                enabled.append(("op", core, (pick,)))
+        if sc.env_evictions:
+            enabled.extend(self._env_moves(state))
+        return enabled
+
+    def _op_choices(self, state: Dict[str, Any], core: int, op: OpT) -> int:
+        """How many nondeterministic variants this op has (RANDOM wake)."""
+        sc = self.scenario
+        if (sc.protocol == "callback"
+                and sc.wake_policy is WakePolicy.RANDOM
+                and op[0] in ("write", "release")):
+            word = op[1]
+            is_one = (op[0] == "release") or (op[3] == "one")
+            if is_one:
+                entry = self._cb_find(state, word)
+                if entry is not None:
+                    waiters = bin(entry[2]).count("1")
+                    if waiters > 1:
+                        return waiters
+        return 1
+
+    def _env_moves(self, state: Dict[str, Any]) -> List[Move]:
+        """Spontaneous evictions (the 'at any moment' safety argument)."""
+        sc = self.scenario
+        moves: List[Move] = []
+        if sc.protocol == "callback":
+            for bank in range(sc.num_banks):
+                for entry in state["cbdir"][bank]:
+                    moves.append(("cb_evict", bank, (entry[0],)))
+        elif sc.protocol == "mesi":
+            for core in range(self.n):
+                pc, status, aux = _core(state, core)
+                for word in range(sc.words):
+                    if state["l1"][core][word][0] == "I":
+                        continue
+                    if status == SPIN and aux[0] == word:
+                        # A core spinning on a word never evicts that
+                        # line (it issues no other fills meanwhile).
+                        continue
+                    moves.append(("l1_evict", core, (word,)))
+        else:
+            for core in range(self.n):
+                for word in range(sc.words):
+                    if state["l1"][core][word][0]:
+                        moves.append(("l1_evict", core, (word,)))
+        return moves
+
+    # -------------------------------------------------------------- footprint
+
+    def footprint(self, state: Dict[str, Any], move: Move) -> FrozenSet[Any]:
+        """Resources a move may touch — the independence relation for the
+        sleep-set reduction. Conservative: word + home bank for racy
+        ops (same-bank callback entries interact through LRU), word +
+        every core for MESI writes (invalidation fan-out)."""
+        sc = self.scenario
+        kind, actor, detail = move
+        if kind == "cb_evict":
+            word = detail[0]
+            return frozenset({("word", word), ("bank", actor)})
+        if kind == "l1_evict":
+            word = detail[0]
+            resources = {("word", word), ("core", actor)}
+            if sc.protocol == "mesi":
+                resources.add(("dir", word))
+            return frozenset(resources)
+        pc, status, aux = _core(state, core := actor)
+        if status == SPIN:
+            word = aux[0]
+        else:
+            op = sc.programs[core][pc]
+            word = op[1] if len(op) > 1 and isinstance(op[1], int) else -1
+        resources = {("core", core)}
+        if word < 0:
+            # Fences touch the whole L1 of this core only.
+            return frozenset(resources | {("l1", core)})
+        resources.add(("word", word))
+        if sc.protocol == "mesi":
+            # Writes invalidate arbitrary sharers: depend on every core.
+            resources.add(("dir", word))
+            resources.update(("core", other) for other in range(self.n))
+        else:
+            resources.add(("bank", word % sc.num_banks))
+            # Wakeups flip other cores runnable: depend on every core.
+            if sc.protocol == "callback":
+                resources.update(("core", other) for other in range(self.n))
+        return frozenset(resources)
+
+    # ---------------------------------------------------------------- apply
+
+    def apply(self, state: Dict[str, Any], move: Move) -> StepOutcome:
+        mut = {key: value for key, value in state.items()}
+        actions: List[Action] = []
+        kind, actor, detail = move
+        if kind == "cb_evict":
+            self._cb_force_evict(mut, actor, detail[0], actions)
+            return StepOutcome(mut, tuple(actions))
+        if kind == "l1_evict":
+            self._l1_evict(mut, actor, detail[0], actions)
+            return StepOutcome(mut, tuple(actions))
+        core = actor
+        pc, status, aux = _core(mut, core)
+        if status == SPIN:
+            self._retry(mut, core, actions)
+            return StepOutcome(mut, tuple(actions))
+        op = self.scenario.programs[core][pc]
+        pick = detail[0] if detail else 0
+        self._exec(mut, core, op, pick, actions)
+        return StepOutcome(mut, tuple(actions))
+
+    # ------------------------------------------------------------ execution
+
+    def _advance(self, state: Dict[str, Any], core: int) -> None:
+        pc, _status, _aux = _core(state, core)
+        pc += 1
+        if pc >= len(self.scenario.programs[core]):
+            _set_core(state, core, pc, DONE)
+        else:
+            _set_core(state, core, pc, RUN)
+
+    def _retry(self, state: Dict[str, Any], core: int,
+               actions: List[Action]) -> None:
+        """A spin-blocked core re-attempts its current op."""
+        pc, _status, _aux = _core(state, core)
+        _set_core(state, core, pc, RUN)
+        op = self.scenario.programs[core][pc]
+        self._exec(state, core, op, 0, actions)
+
+    def _exec(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+              actions: List[Action]) -> None:
+        handler = {
+            "st": self._do_store,
+            "ld": self._do_load,
+            "write": self._do_write,
+            "await": self._do_await,
+            "fence": self._do_fence,
+            "acquire": self._do_acquire,
+            "release": self._do_release,
+        }[op[0]]
+        handler(state, core, op, pick, actions)
+
+    # ------------------------------------------------------------ store ops
+
+    def _store_write(self, state: Dict[str, Any], word: int, value: int,
+                     actions: List[Action]) -> None:
+        store = list(state["store"])
+        store[word] = value
+        state["store"] = tuple(store)
+        actions.append(("store_write", word, value))
+
+    # ---------------------------------------------------------------- MESI
+
+    def _mesi_dir_step(self, state: Dict[str, Any], word: int, event: str,
+                       core: int, actions: List[Action]) -> Any:
+        owner, sharers = state["dir"][word]
+        table = self.tables["directory"]
+        step = table.step({"owner": owner, "sharers": sharers},
+                          Event(event, core=core))
+        dirs = list(state["dir"])
+        dirs[word] = (step.state["owner"], frozenset(step.state["sharers"]))
+        state["dir"] = tuple(dirs)
+        actions.append(("dir_step", word, event, core, step.transition.name))
+        return step
+
+    def _mesi_l1_set(self, state: Dict[str, Any], core: int, word: int,
+                     mesi: str, snap: int, actions: List[Action]) -> None:
+        l1 = [list(per_core) for per_core in state["l1"]]
+        l1[core][word] = (mesi, snap)
+        state["l1"] = tuple(tuple(per_core) for per_core in l1)
+        actions.append(("l1_set", core, word, mesi, snap))
+
+    def _mesi_invalidate(self, state: Dict[str, Any], victim: int, word: int,
+                         actions: List[Action]) -> None:
+        """An Inv (or owner-forward) kills the copy; a spinner parked on
+        the word becomes runnable (invalidate-and-refetch)."""
+        if state["l1"][victim][word][0] != "I":
+            self._mesi_l1_set(state, victim, word, "I", 0, actions)
+        pc, status, aux = _core(state, victim)
+        if status == SPIN and aux[0] == word:
+            _set_core(state, victim, pc, RUN)
+            actions.append(("spin_unblock", victim, word))
+
+    def _mesi_acquire_m(self, state: Dict[str, Any], core: int, word: int,
+                        actions: List[Action]) -> None:
+        """GetX: invalidate every other holder, own the line in M."""
+        mesi, _snap = state["l1"][core][word]
+        if mesi in ("E", "M"):
+            if mesi == "E":
+                self._mesi_l1_set(state, core, word, "M",
+                                  state["l1"][core][word][1], actions)
+            return
+        step = self._mesi_dir_step(state, word, "getx", core, actions)
+        for emit in step.emits:
+            if emit.kind == "inv" and emit.core != core:
+                assert emit.core is not None
+                self._mesi_invalidate(state, emit.core, word, actions)
+        self._mesi_l1_set(state, core, word, "M", state["store"][word],
+                          actions)
+
+    def _mesi_fill_s(self, state: Dict[str, Any], core: int, word: int,
+                     actions: List[Action]) -> None:
+        """GetS: fill at the grant state the directory table chooses."""
+        step = self._mesi_dir_step(state, word, "gets", core, actions)
+        if step.transition.name == "gets_forward":
+            owner = next(e.core for e in step.emits if e.kind == "fwd")
+            assert owner is not None
+            if state["l1"][owner][word][0] != "I":
+                self._mesi_l1_set(state, owner, word, "S",
+                                  state["l1"][owner][word][1], actions)
+            grant = "S"
+        else:
+            grant = next(e.get("grant") for e in step.emits
+                         if e.kind == "data")
+        self._mesi_l1_set(state, core, word, grant, state["store"][word],
+                          actions)
+
+    def _l1_evict(self, state: Dict[str, Any], core: int, word: int,
+                  actions: List[Action]) -> None:
+        sc = self.scenario
+        if sc.protocol == "mesi":
+            mesi, _snap = state["l1"][core][word]
+            table = self.tables["l1_line"]
+            step = table.step({"mesi": mesi}, Event("evict"))
+            self._mesi_l1_set(state, core, word, "I", 0, actions)
+            if any(e.kind in ("putm", "pute") for e in step.emits):
+                self._mesi_dir_step(state, word, "put", core, actions)
+            actions.append(("l1_evict", core, word, mesi))
+        else:
+            self._vips_l1_step(state, core, word, Event("evict"), actions)
+            actions.append(("l1_evict", core, word, "V"))
+
+    # ---------------------------------------------------------------- VIPS
+
+    def _vips_l1_step(self, state: Dict[str, Any], core: int, word: int,
+                      event: Event, actions: List[Action]) -> Any:
+        present, shared, dirty = state["l1"][core][word]
+        table = self.tables["l1_line"]
+        step = table.try_step(
+            {"present": present, "shared": shared,
+             "dirty": frozenset({word} if dirty else set())},
+            event)
+        if step is None:
+            return None
+        l1 = [list(per_core) for per_core in state["l1"]]
+        l1[core][word] = (bool(step.state["present"]),
+                          bool(step.state["shared"]),
+                          bool(step.state["dirty"]))
+        state["l1"] = tuple(tuple(per_core) for per_core in l1)
+        actions.append(("vips_l1", core, word, event.kind,
+                        step.transition.name))
+        return step
+
+    def _vips_fill(self, state: Dict[str, Any], core: int, word: int,
+                   actions: List[Action]) -> None:
+        if not state["l1"][core][word][0]:
+            # All scenario words are touched by multiple cores: shared.
+            self._vips_l1_step(state, core, word,
+                               Event("fill", payload={"shared": True}),
+                               actions)
+
+    # ------------------------------------------------------------- callback
+
+    def _bank_of(self, word: int) -> int:
+        return word % self.scenario.num_banks
+
+    def _cb_find(self, state: Dict[str, Any], word: int
+                 ) -> Optional[Tuple[Any, ...]]:
+        bank = self._bank_of(word)
+        for entry in state["cbdir"][bank]:
+            if entry[0] == word:
+                return entry
+        return None
+
+    @staticmethod
+    def _entry_state(entry: Tuple[Any, ...], n: int) -> Dict[str, Any]:
+        return {"fe": entry[1], "cb": entry[2], "mode_all": entry[3],
+                "rr": entry[4], "arrival": entry[5], "n": n}
+
+    @staticmethod
+    def _entry_tuple(word: int, s: Dict[str, Any]) -> Tuple[Any, ...]:
+        return (word, s["fe"], s["cb"], bool(s["mode_all"]), s["rr"],
+                tuple(s["arrival"]))
+
+    def _cb_touch(self, state: Dict[str, Any], bank: int, word: int) -> None:
+        """LRU refresh: move the entry to the MRU end (the live directory
+        cache touches on every lookup)."""
+        entries = list(state["cbdir"][bank])
+        for index, entry in enumerate(entries):
+            if entry[0] == word:
+                entries.append(entries.pop(index))
+                break
+        cbdir = list(state["cbdir"])
+        cbdir[bank] = tuple(entries)
+        state["cbdir"] = tuple(cbdir)
+
+    def _cb_replace(self, state: Dict[str, Any], bank: int, word: int,
+                    new_entry: Optional[Tuple[Any, ...]]) -> None:
+        entries = [entry for entry in state["cbdir"][bank]
+                   if entry[0] != word]
+        if new_entry is not None:
+            entries.append(new_entry)
+        cbdir = list(state["cbdir"])
+        cbdir[bank] = tuple(entries)
+        state["cbdir"] = tuple(cbdir)
+
+    def _cb_step(self, state: Dict[str, Any], word: int, event: Event,
+                 actions: List[Action]) -> Any:
+        """Step the entry table for ``word``'s entry and store the next
+        state back (MRU position)."""
+        entry = self._cb_find(state, word)
+        assert entry is not None
+        table = self.tables["entry"]
+        step = table.step(self._entry_state(entry, self.n), event)
+        freed = any(e.kind == "free" for e in step.emits)
+        self._cb_replace(
+            state, self._bank_of(word), word,
+            None if freed else self._entry_tuple(word, step.state))
+        if freed:
+            # An emit-driven deallocation outside the evict path (only
+            # mutant tables do this); recorded so replay can mirror it.
+            actions.append(("cb_free", self._bank_of(word), word))
+        return step
+
+    def _cb_deliver_wakes(self, state: Dict[str, Any], word: int,
+                          step: Any, actions: List[Action]) -> List[int]:
+        woken = [e.core for e in step.emits if e.kind == "wake"]
+        value = state["store"][word]
+        for victim in woken:
+            pc, status, aux = _core(state, victim)
+            if status == PARKED and aux and aux[0] == word:
+                _set_core(state, victim, pc, RUN, ("woken", value))
+                actions.append(("wake", victim, word, value))
+        return [v for v in woken if v is not None]
+
+    def _cb_install(self, state: Dict[str, Any], word: int,
+                    actions: List[Action]) -> None:
+        """get_or_install: LRU-touch on hit; install + possible capacity
+        eviction (answering the victim's callbacks) on miss."""
+        bank = self._bank_of(word)
+        if self._cb_find(state, word) is not None:
+            self._cb_touch(state, bank, word)
+            return
+        table = self.tables["entry"]
+        entries = list(state["cbdir"][bank])
+        evict_woken: List[int] = []
+        victim_word = None
+        if len(entries) >= self.scenario.cb_entries:
+            victim = entries[0]   # LRU victim
+            victim_word = victim[0]
+            step = table.step(self._entry_state(victim, self.n),
+                              Event("evict"))
+            entries = entries[1:]
+            cbdir = list(state["cbdir"])
+            cbdir[bank] = tuple(entries)
+            state["cbdir"] = tuple(cbdir)
+            actions.append(("cb_evict", bank, victim_word, "capacity",
+                            tuple(e.core for e in step.emits
+                                  if e.kind == "wake")))
+            self._cb_deliver_wakes(state, victim_word, step, actions)
+        new_entry = self._entry_tuple(word, table.initial(self.n))
+        entries = list(state["cbdir"][bank]) + [new_entry]
+        cbdir = list(state["cbdir"])
+        cbdir[bank] = tuple(entries)
+        state["cbdir"] = tuple(cbdir)
+        actions.append(("cb_install", bank, word, victim_word))
+
+    def _cb_force_evict(self, state: Dict[str, Any], bank: int, word: int,
+                        actions: List[Action]) -> None:
+        entry = self._cb_find(state, word)
+        if entry is None:
+            return
+        table = self.tables["entry"]
+        step = table.step(self._entry_state(entry, self.n), Event("evict"))
+        self._cb_replace(state, bank, word, None)
+        actions.append(("cb_evict", bank, word, "forced",
+                        tuple(e.core for e in step.emits
+                              if e.kind == "wake")))
+        self._cb_deliver_wakes(state, word, step, actions)
+
+    def _cb_read_attempt(self, state: Dict[str, Any], core: int, word: int,
+                         actions: List[Action]) -> Optional[int]:
+        """One ld_cb: install-if-missing, consume or park. Returns the
+        value read on a consume hit, None when parked."""
+        self._cb_install(state, word, actions)
+        step = self._cb_step(state, word, Event("consume", core=core), actions)
+        hit = step.transition.name == "consume_hit"
+        actions.append(("cb_consume", self._bank_of(word), word, core, hit))
+        if hit:
+            return state["store"][word]
+        park = self._cb_step(state, word, Event("park", core=core), actions)
+        assert park.transition.name == "park"
+        actions.append(("cb_park", self._bank_of(word), word, core))
+        pc, _status, _aux = _core(state, core)
+        _set_core(state, core, pc, PARKED, (word,))
+        return None
+
+    def _cb_write(self, state: Dict[str, Any], word: int, mode: str,
+                  pick: int, actions: List[Action]) -> None:
+        """The directory side of st_cbA / st_cb1 / st_cb0 / st_through."""
+        entry = self._cb_find(state, word)
+        if entry is None:
+            actions.append(("cb_write_miss", self._bank_of(word), word, mode))
+            return
+        self._cb_touch(state, self._bank_of(word), word)
+        if mode in ("all", "through"):
+            step = self._cb_step(state, word, Event("write_all"), actions)
+            woken = self._cb_deliver_wakes(state, word, step, actions)
+            actions.append(("cb_write_all", self._bank_of(word), word,
+                            tuple(woken)))
+        elif mode == "one":
+            policy = self.scenario.wake_policy
+            step = self._cb_step(
+                state, word,
+                Event("write_one", payload={"policy": policy, "pick": pick}),
+                actions)
+            woken = self._cb_deliver_wakes(state, word, step, actions)
+            actions.append(("cb_write_one", self._bank_of(word), word,
+                            policy.value, pick, tuple(woken)))
+        elif mode == "zero":
+            self._cb_step(state, word, Event("write_zero"), actions)
+            actions.append(("cb_write_zero", self._bank_of(word), word))
+        else:  # pragma: no cover - scenario authoring error
+            raise ValueError(f"unknown write mode: {mode}")
+
+    # -------------------------------------------------------------- op impl
+
+    def _do_store(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+                  actions: List[Action]) -> None:
+        word, value = op[1], op[2]
+        if self.scenario.protocol == "mesi":
+            self._mesi_acquire_m(state, core, word, actions)
+            self._store_write(state, word, value, actions)
+            self._mesi_l1_set(state, core, word, "M", value, actions)
+        else:
+            self._vips_fill(state, core, word, actions)
+            self._vips_l1_step(state, core, word,
+                               Event("store", payload={"word": word}), actions)
+            self._store_write(state, word, value, actions)
+        self._advance(state, core)
+
+    def _do_load(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+                 actions: List[Action]) -> None:
+        word = op[1]
+        if self.scenario.protocol == "mesi":
+            if state["l1"][core][word][0] == "I":
+                self._mesi_fill_s(state, core, word, actions)
+            actions.append(("ld", core, word, state["l1"][core][word][1]))
+        else:
+            self._vips_fill(state, core, word, actions)
+            actions.append(("ld", core, word, state["store"][word]))
+        self._advance(state, core)
+
+    def _do_write(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+                  actions: List[Action]) -> None:
+        word, value, mode = op[1], op[2], op[3]
+        if self.scenario.protocol == "mesi":
+            # MESI has no through/callback stores: plain store semantics.
+            self._do_store(state, core, ("st", word, value), pick, actions)
+            return
+        self._store_write(state, word, value, actions)
+        if self.scenario.protocol == "callback":
+            self._cb_write(state, word, mode, pick, actions)
+        self._advance(state, core)
+
+    def _do_await(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+                  actions: List[Action]) -> None:
+        word, target = op[1], op[2]
+        pc, _status, aux = _core(state, core)
+        if aux and aux[0] == "woken":
+            value = aux[1]
+            _set_core(state, core, pc, RUN)
+            if value == target:
+                actions.append(("await_done", core, word, value))
+                self._advance(state, core)
+                return
+            # Wrong value: fall through to a fresh read attempt.
+        if self.scenario.protocol == "mesi":
+            if state["l1"][core][word][0] == "I":
+                self._mesi_fill_s(state, core, word, actions)
+            value = state["l1"][core][word][1]
+            if value == target:
+                actions.append(("await_done", core, word, value))
+                self._advance(state, core)
+            else:
+                _set_core(state, core, pc, SPIN, (word, target))
+                actions.append(("spin_park", core, word))
+        elif self.scenario.protocol == "vips":
+            value = state["store"][word]
+            if value == target:
+                actions.append(("await_done", core, word, value))
+                self._advance(state, core)
+            else:
+                _set_core(state, core, pc, SPIN, (word, target))
+                actions.append(("spin_park", core, word))
+        else:
+            got = self._cb_read_attempt(state, core, word, actions)
+            if got is None:
+                return  # parked
+            if got == target:
+                actions.append(("await_done", core, word, got))
+                self._advance(state, core)
+            # else: stay RUN at the same pc — the loop re-issues ld_cb.
+
+    def _do_fence(self, state: Dict[str, Any], core: int, op: OpT, pick: int,
+                  actions: List[Action]) -> None:
+        kind = op[1]
+        if self.scenario.protocol != "mesi":
+            event = "self_invl" if kind == "invl" else "self_down"
+            for word in range(self.scenario.words):
+                self._vips_l1_step(state, core, word, Event(event), actions)
+            actions.append(("fence", core, kind))
+        self._advance(state, core)
+
+    def _do_acquire(self, state: Dict[str, Any], core: int, op: OpT,
+                    pick: int, actions: List[Action]) -> None:
+        word = op[1]
+        pc, _status, aux = _core(state, core)
+        if aux and aux[0] == "woken":
+            _set_core(state, core, pc, RUN)
+        if self.scenario.protocol == "mesi":
+            # TAS: acquire M, test-and-set against the store.
+            self._mesi_acquire_m(state, core, word, actions)
+            if state["store"][word] == 0:
+                self._store_write(state, word, 1, actions)
+                self._mesi_l1_set(state, core, word, "M", 1, actions)
+                state["cs"] = state["cs"] | (1 << core)
+                actions.append(("acquired", core, word))
+                self._advance(state, core)
+            else:
+                self._mesi_l1_set(state, core, word, "M",
+                                  state["store"][word], actions)
+                _set_core(state, core, pc, SPIN, (word, 0))
+                actions.append(("spin_park", core, word))
+            return
+        if state["store"][word] == 0:
+            actions.append(("tas", core, word, True))
+            self._store_write(state, word, 1, actions)
+            if self.scenario.protocol == "callback":
+                # The TAS write is a One-mode write that wakes nobody
+                # (st_cb0 encoding of a successful lock grab, Fig. 10).
+                self._cb_write(state, word, "zero", pick, actions)
+            state["cs"] = state["cs"] | (1 << core)
+            actions.append(("acquired", core, word))
+            self._advance(state, core)
+            return
+        actions.append(("tas", core, word, False))
+        if self.scenario.protocol == "vips":
+            _set_core(state, core, pc, SPIN, (word, 0))
+            actions.append(("spin_park", core, word))
+            return
+        # Callback: wait for the lock word via ld_cb (TTAS_cb loop).
+        got = self._cb_read_attempt(state, core, word, actions)
+        if got is not None and got == 0:
+            # Lock observed free: retry the TAS on the next move.
+            return
+
+    def _do_release(self, state: Dict[str, Any], core: int, op: OpT,
+                    pick: int, actions: List[Action]) -> None:
+        word = op[1]
+        state["cs"] = state["cs"] & ~(1 << core)
+        actions.append(("released", core, word))
+        if self.scenario.protocol == "mesi":
+            self._mesi_acquire_m(state, core, word, actions)
+            self._store_write(state, word, 0, actions)
+            self._mesi_l1_set(state, core, word, "M", 0, actions)
+        else:
+            self._store_write(state, word, 0, actions)
+            if self.scenario.protocol == "callback":
+                # st_cb1(lock, 0): hand the lock to exactly one waiter.
+                self._cb_write(state, word, "one", pick, actions)
+        self._advance(state, core)
+
+    # ----------------------------------------------------------- projection
+
+    def project(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        """The protocol-relevant slice of a state, for replay parity."""
+        projected: Dict[str, Any] = {
+            "store": list(state["store"]),
+            "cores": [list(entry) for entry in state["cores"]],
+        }
+        if self.scenario.protocol == "mesi":
+            projected["l1"] = [[list(line) for line in per_core]
+                               for per_core in state["l1"]]
+            projected["dir"] = [[owner, sorted(sharers)]
+                                for owner, sharers in state["dir"]]
+        else:
+            projected["l1"] = [[list(line) for line in per_core]
+                               for per_core in state["l1"]]
+        if self.scenario.protocol == "callback":
+            projected["cbdir"] = [
+                [[entry[0], entry[1], entry[2], entry[3], entry[4],
+                  list(entry[5])] for entry in bank]
+                for bank in state["cbdir"]
+            ]
+        return projected

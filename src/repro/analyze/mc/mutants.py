@@ -1,0 +1,212 @@
+"""Seeded-bad mutant tables — the checker's own regression gate.
+
+Mirrors the ``check_fixtures`` pattern of the static linter: each
+:class:`Mutant` swaps one transition of a registered table for a subtly
+broken variant (a real bug class from the paper's correctness
+argument), names the scenario that exposes it, and pins the invariant
+the checker must report. :func:`check_mutants` fails if any mutant goes
+undetected *or* is detected for the wrong reason — so the gate catches
+both a checker that misses bugs and one that flags the wrong thing.
+
+The clean table is also run on every mutant's scenario: a gate that
+passes because the scenario itself is broken would be worthless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.protocols.base import tables_for
+from repro.protocols.callback.table import initial_entry
+from repro.protocols.table import (Effect, Emit, Event, Transition,
+                                   TransitionTable)
+
+from repro.analyze.mc.checker import CheckConfig, CheckResult, check
+from repro.analyze.mc.model import Scenario
+from repro.analyze.mc.scenarios import find_scenario
+
+__all__ = ["MUTANTS", "Mutant", "MutantOutcome", "check_mutants"]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded bug: a broken transition + where and how it must show."""
+
+    name: str
+    protocol: str
+    fsm: str
+    transition: str
+    substitute: Transition
+    scenario: str                 # scenario name within the protocol
+    expected_invariant: str
+    description: str
+
+    def tables(self) -> Dict[str, TransitionTable]:
+        base = tables_for(self.protocol)[self.fsm]
+        return {self.fsm: base.replacing(self.transition, self.substitute)}
+
+
+@dataclass
+class MutantOutcome:
+    mutant: Mutant
+    caught: bool
+    invariant: Optional[str]
+    expected: str
+    clean_ok: bool
+    result: CheckResult
+
+    @property
+    def ok(self) -> bool:
+        return (self.caught and self.invariant == self.expected
+                and self.clean_ok)
+
+
+# ------------------------------------------------------- broken transitions
+
+
+def _true(state: Mapping[str, object], event: Event) -> bool:
+    return True
+
+
+def _false(state: Mapping[str, object], event: Event) -> bool:
+    return False
+
+
+def _evict_drop_wakes(state: Mapping[str, object], event: Event) -> Effect:
+    # BUG: frees the entry without answering the pending callbacks —
+    # every parked waiter is orphaned.
+    return Effect(initial_entry(int(state["n"])), (Emit("free"),))
+
+
+def _write_zero_free(state: Mapping[str, object], event: Event) -> Effect:
+    # BUG: st_cb0 deallocates the entry instead of just emptying F/E;
+    # waiters parked on it lose their callbacks.
+    return Effect(initial_entry(int(state["n"])), (Emit("free"),))
+
+
+def _write_one_no_wake(state: Mapping[str, object], event: Event) -> Effect:
+    # BUG: st_cb1 switches to One mode but never delivers the wakeup.
+    nxt = dict(state)
+    nxt["mode_all"] = False
+    return Effect(nxt)
+
+
+def _getx_local_skip_inv(state: Mapping[str, object],
+                         event: Event) -> Effect:
+    # BUG: the highest-id sharer is never invalidated, leaving a stale
+    # valid copy behind the write.
+    requester = event.core
+    assert requester is not None
+    sharers = state["sharers"]
+    assert isinstance(sharers, frozenset)
+    invalidees = sorted(set(sharers) - {requester})[:-1]
+    was_sharer = requester in sharers or state["owner"] == requester
+    nxt = {"owner": requester, "sharers": frozenset()}
+    emits: Tuple[Emit, ...] = tuple(
+        Emit("inv", core=sharer) for sharer in invalidees)
+    emits += (Emit("grant" if was_sharer else "data", core=requester,
+                   info=(("grant", "M"),)),)
+    return Effect(nxt, emits)
+
+
+def _guard_cb(state: Mapping[str, object], event: Event) -> bool:
+    return bool(state["cb"])
+
+
+def _guard_getx_local(state: Mapping[str, object], event: Event) -> bool:
+    # Same predicate as the genuine getx_local edge (the bug is in the
+    # apply, not the guard): no remote owner to forward through.
+    owner = state["owner"]
+    return owner is None or owner == event.core
+
+
+MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        name="cb_drop_wake_on_evict",
+        protocol="callback", fsm="entry", transition="evict",
+        substitute=Transition(
+            "evict", "evict", _true, _evict_drop_wakes,
+            "[mutant] replacement frees the entry without waking anyone"),
+        scenario="evict2",
+        expected_invariant="cb_consistency",
+        description="Eviction drops pending callbacks instead of "
+                    "answering them (violates Section 2.3.1)",
+    ),
+    Mutant(
+        name="cb_premature_entry_free",
+        protocol="callback", fsm="entry", transition="write_zero",
+        substitute=Transition(
+            "write_zero", "write_zero", _true, _write_zero_free,
+            "[mutant] st_cb0 deallocates the entry"),
+        scenario="mutex3",
+        expected_invariant="cb_consistency",
+        description="st_cb0 frees the entry while later waiters are "
+                    "still parked on it",
+    ),
+    Mutant(
+        name="cb_st1_wake_dropped",
+        protocol="callback", fsm="entry", transition="write_one_wake",
+        substitute=Transition(
+            "write_one_wake", "write_one", _guard_cb, _write_one_no_wake,
+            "[mutant] st_cb1 with waiters wakes nobody"),
+        scenario="mutex2",
+        expected_invariant="no_lost_wakeup",
+        description="st_cb1 never delivers its single wakeup: the lock "
+                    "is free but the waiter sleeps forever",
+    ),
+    Mutant(
+        name="vips_missing_self_invl",
+        protocol="vips", fsm="l1_line", transition="invl_drop",
+        substitute=Transition(
+            "invl_drop", "self_invl", _false,
+            lambda state, event: Effect(dict(state)),
+            "[mutant] acquire fence never discards shared lines"),
+        scenario="fence2",
+        expected_invariant="fence_hygiene",
+        description="The acquire fence's self-invalidation edge is "
+                    "missing: stale shared data survives synchronization",
+    ),
+    Mutant(
+        name="mesi_missing_inv",
+        protocol="mesi", fsm="directory", transition="getx_local",
+        substitute=Transition(
+            "getx_local", "getx", _guard_getx_local, _getx_local_skip_inv,
+            "[mutant] GetX skips the last sharer's invalidation"),
+        scenario="handoff3",
+        expected_invariant="swmr",
+        description="GetX invalidation fan-out misses one sharer, "
+                    "leaving a stale valid copy behind the write",
+    ),
+)
+
+
+def check_mutants(
+    config: Optional[CheckConfig] = None,
+    mutants: Optional[Tuple[Mutant, ...]] = None,
+    scenario_resolver: Callable[[str, str],
+                                Optional[Scenario]] = find_scenario,
+) -> List[MutantOutcome]:
+    """Run every mutant against its pinned scenario; the checker must
+    flag exactly the expected invariant, and the clean table must pass
+    the same scenario."""
+    outcomes: List[MutantOutcome] = []
+    for mutant in mutants if mutants is not None else MUTANTS:
+        scenario = scenario_resolver(mutant.protocol, mutant.scenario)
+        if scenario is None:
+            raise KeyError(
+                f"mutant {mutant.name}: unknown scenario "
+                f"{mutant.protocol}/{mutant.scenario}")
+        clean = check(scenario, config=config)
+        result = check(scenario, tables=mutant.tables(), config=config,
+                       mutant=mutant.name)
+        outcomes.append(MutantOutcome(
+            mutant=mutant,
+            caught=not result.ok,
+            invariant=(result.counterexample.invariant
+                       if result.counterexample else None),
+            expected=mutant.expected_invariant,
+            clean_ok=clean.ok and not clean.truncated,
+            result=result,
+        ))
+    return outcomes

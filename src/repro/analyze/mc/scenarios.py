@@ -1,0 +1,154 @@
+"""The scenario catalog the checker sweeps.
+
+Each scenario is a small, closed workload chosen to exercise one
+synchronization pattern end to end: flag handoff (signal-wait), lock
+handoff (mutex), directory overflow (capacity eviction with parked
+waiters), forced eviction (the Section 2.3.1 'at any moment' safety
+argument), and fence hygiene. The CI smoke sweep runs every scenario at
+2 and 3 cores; the mutant gate pins each seeded-bad table to the
+scenario that exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.mc.model import OpT, Scenario
+
+__all__ = ["scenario_catalog", "scenarios_for", "find_scenario"]
+
+
+def _flag_write(protocol: str) -> OpT:
+    """The producer's flag publication, in each protocol's idiom: a DRF
+    store under MESI, a write-through under VIPS (the flag is racy), an
+    st_cbA under callback (wake every waiter)."""
+    if protocol == "mesi":
+        return ("st", 1, 1)
+    if protocol == "vips":
+        return ("write", 1, 1, "through")
+    return ("write", 1, 1, "all")
+
+
+def _base_invariants(protocol: str) -> Tuple[str, ...]:
+    if protocol == "mesi":
+        return ("swmr", "data_value")
+    if protocol == "callback":
+        return ("cb_consistency",)
+    return ()
+
+
+def handoff(protocol: str, cores: int) -> Scenario:
+    """Signal-wait: core 0 publishes data then a flag; everyone else
+    waits on the flag and reads the data."""
+    producer: Tuple[OpT, ...] = (("st", 0, 42), _flag_write(protocol))
+    consumer: Tuple[OpT, ...] = (("await", 1, 1), ("ld", 0))
+    return Scenario(
+        name=f"handoff{cores}",
+        protocol=protocol,
+        programs=(producer,) + (consumer,) * (cores - 1),
+        words=2,
+        invariants=_base_invariants(protocol),
+        description=f"{cores}-core flag handoff (signal-wait)",
+    )
+
+
+def mutex(protocol: str, cores: int) -> Scenario:
+    """Lock handoff: every core acquires and releases one TAS lock."""
+    program: Tuple[OpT, ...] = (("acquire", 0), ("release", 0))
+    return Scenario(
+        name=f"mutex{cores}",
+        protocol=protocol,
+        programs=(program,) * cores,
+        words=1,
+        invariants=("mutex",) + _base_invariants(protocol),
+        description=f"{cores}-core TAS lock handoff",
+    )
+
+
+def overflow(cores: int) -> Scenario:
+    """Callback-directory capacity pressure: more awaited words than
+    entries, so installs evict entries whose waiters must be answered
+    (Section 2.3.1). One writer, ``cores - 1`` waiters on distinct
+    words, a single-entry bank."""
+    waiters = cores - 1
+    writer: Tuple[OpT, ...] = tuple(
+        ("write", word, 1, "all") for word in range(waiters))
+    programs: List[Tuple[OpT, ...]] = [writer]
+    for word in range(waiters):
+        programs.append((("await", word, 1),))
+    return Scenario(
+        name=f"overflow{cores}",
+        protocol="callback",
+        programs=tuple(programs),
+        words=max(waiters, 1),
+        cb_entries=1,
+        invariants=("cb_consistency",),
+        description=(f"{cores}-core overflow: {waiters} awaited words "
+                     f"through a 1-entry bank"),
+    )
+
+
+def evict(cores: int) -> Scenario:
+    """Forced eviction at any moment (environment moves) racing one
+    writer and one-or-more waiters on a single word."""
+    writer: Tuple[OpT, ...] = (("write", 0, 1, "all"),)
+    waiter: Tuple[OpT, ...] = (("await", 0, 1),)
+    return Scenario(
+        name=f"evict{cores}",
+        protocol="callback",
+        programs=(writer,) + (waiter,) * (cores - 1),
+        words=1,
+        env_evictions=True,
+        invariants=("cb_consistency",),
+        description=(f"{cores}-core wait/wake under spontaneous entry "
+                     f"evictions"),
+    )
+
+
+def fence(protocol: str, cores: int) -> Scenario:
+    """Fence hygiene: consumers cache stale data, synchronize on a flag,
+    then must self-invalidate before re-reading."""
+    producer: Tuple[OpT, ...] = (("st", 0, 42), _flag_write(protocol))
+    consumer: Tuple[OpT, ...] = (
+        ("ld", 0),              # cache the stale value pre-sync
+        ("await", 1, 1),
+        ("fence", "invl"),      # acquire fence: drop shared lines
+        ("ld", 0),
+    )
+    return Scenario(
+        name=f"fence{cores}",
+        protocol=protocol,
+        programs=(producer,) + (consumer,) * (cores - 1),
+        words=2,
+        invariants=("fence_hygiene",) + _base_invariants(protocol),
+        description=f"{cores}-core acquire-fence hygiene",
+    )
+
+
+def scenario_catalog(cores: Tuple[int, ...] = (2, 3)) -> List[Scenario]:
+    """Every scenario at every requested core count."""
+    catalog: List[Scenario] = []
+    for n in cores:
+        for protocol in ("mesi", "vips", "callback"):
+            catalog.append(handoff(protocol, n))
+            catalog.append(mutex(protocol, n))
+        for protocol in ("vips", "callback"):
+            catalog.append(fence(protocol, n))
+        if n >= 3:
+            catalog.append(overflow(n))
+        catalog.append(evict(n))
+    return catalog
+
+
+def scenarios_for(protocol: str,
+                  cores: Tuple[int, ...] = (2, 3)) -> List[Scenario]:
+    return [scenario for scenario in scenario_catalog(cores)
+            if scenario.protocol == protocol]
+
+
+def find_scenario(protocol: str, name: str,
+                  cores: Tuple[int, ...] = (2, 3, 4)) -> Optional[Scenario]:
+    for scenario in scenario_catalog(cores):
+        if scenario.protocol == protocol and scenario.name == name:
+            return scenario
+    return None

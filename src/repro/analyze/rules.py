@@ -122,6 +122,37 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
           "A word carries callback/through annotations but only one "
           "core ever touches it; the annotations cost LLC round-trips "
           "for no synchronization."),
+    # Spec-coverage rules: numbered in the A2xx (advisory) namespace for
+    # historical reasons but promoted to ERROR — a registered artifact
+    # without its analysis counterpart silently escapes every checker.
+    _rule("CB-A210", Severity.ERROR, "registered primitive has no lint "
+          "spec",
+          "A synchronization primitive is registered in "
+          "repro.sync.registry but has no PrimitiveSpec, so the static "
+          "Table-1 linter never drives it."),
+    _rule("CB-A211", Severity.ERROR, "registered protocol has no "
+          "transition table",
+          "A protocol backend is registered in PROTOCOL_REGISTRY but "
+          "registered no TransitionTable, so the model checker cannot "
+          "explore it and the live FSM has no declarative source."),
+    # Model-checker findings (repro-analyze mc).
+    _rule("MC-E401", Severity.ERROR, "protocol invariant violated",
+          "Exhaustive exploration of a scenario reached a state that "
+          "violates a declared invariant (SWMR, data-value coherence, "
+          "callback consistency, mutual exclusion, fence hygiene, or "
+          "no-lost-wakeup); a minimal counterexample trace is attached."),
+    _rule("MC-E402", Severity.ERROR, "seeded mutant not flagged",
+          "A seeded-bad mutant table was not detected by the checker, "
+          "or was detected for the wrong invariant, or its clean "
+          "baseline scenario failed — the checker itself regressed."),
+    _rule("MC-E403", Severity.ERROR, "counterexample replay diverged",
+          "Re-executing a counterexample through the real protocol "
+          "data structures did not reproduce the recorded states "
+          "bit-for-bit: the abstract model and the simulator drifted."),
+    _rule("MC-W401", Severity.WARNING, "model-checker exploration "
+          "truncated",
+          "The state-space sweep hit its --max-states budget; "
+          "invariants were checked on the explored prefix only."),
 )}
 
 

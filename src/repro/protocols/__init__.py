@@ -1,27 +1,61 @@
-"""Coherence protocols: MESI (Invalidation), VIPS-M (BackOff), Callback."""
+"""Coherence protocols: MESI (Invalidation), VIPS-M (BackOff), Callback.
+
+``PROTOCOL_REGISTRY`` is the declarative catalog of protocol backends:
+short name -> (config enum, implementation class). New backends (ROADMAP
+item 4: hybrid update/invalidate, directoryless LLC) register here and
+must also register their :class:`~repro.protocols.table.TransitionTable`
+FSMs via :func:`repro.protocols.base.register_table` — the spec-coverage
+lint in ``repro.analyze`` enforces that pairing, and the model checker
+in ``repro.analyze.mc`` uses the tables as its exploration model.
+"""
+
+from typing import Any, Dict, Tuple, Type
 
 from repro.config import Protocol, SystemConfig
-from repro.protocols.base import CoherenceProtocol
+from repro.protocols.base import (
+    CoherenceProtocol,
+    register_table,
+    registered_tables,
+    tables_for,
+)
 from repro.protocols.callback.protocol import CallbackProtocol
+from repro.protocols.callback.table import CALLBACK_ENTRY_TABLE
 from repro.protocols.mesi.protocol import MESIProtocol
+from repro.protocols.mesi.table import MESI_DIR_TABLE, MESI_L1_TABLE
 from repro.protocols.vips.protocol import VIPSProtocol
+from repro.protocols.vips.table import VIPS_L1_TABLE
+
+#: name -> (selection enum, implementation). The name doubles as the
+#: table-registry key ("mesi", "vips", "callback").
+PROTOCOL_REGISTRY: Dict[str, Tuple[Protocol, Type[CoherenceProtocol]]] = {
+    "mesi": (Protocol.MESI, MESIProtocol),
+    "vips": (Protocol.VIPS_BACKOFF, VIPSProtocol),
+    "callback": (Protocol.VIPS_CALLBACK, CallbackProtocol),
+}
+
+register_table(MESI_DIR_TABLE)
+register_table(MESI_L1_TABLE)
+register_table(VIPS_L1_TABLE)
+register_table(CALLBACK_ENTRY_TABLE)
 
 
-def build_protocol(config: SystemConfig, engine, network, stats, store
-                   ) -> CoherenceProtocol:
+def build_protocol(config: SystemConfig, engine: Any, network: Any,
+                   stats: Any, store: Any) -> CoherenceProtocol:
     """Instantiate the protocol selected by ``config.protocol``."""
-    cls = {
-        Protocol.MESI: MESIProtocol,
-        Protocol.VIPS_BACKOFF: VIPSProtocol,
-        Protocol.VIPS_CALLBACK: CallbackProtocol,
-    }[config.protocol]
-    return cls(config, engine, network, stats, store)
+    for _name, (selector, cls) in PROTOCOL_REGISTRY.items():
+        if selector is config.protocol:
+            return cls(config, engine, network, stats, store)
+    raise KeyError(f"no registered protocol for {config.protocol!r}")
 
 
 __all__ = [
     "CallbackProtocol",
     "CoherenceProtocol",
     "MESIProtocol",
+    "PROTOCOL_REGISTRY",
     "VIPSProtocol",
     "build_protocol",
+    "register_table",
+    "registered_tables",
+    "tables_for",
 ]

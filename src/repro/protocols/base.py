@@ -13,7 +13,7 @@ behaviour the paper describes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.classify.pagetable import PageClassifier
 from repro.config import SystemConfig
@@ -22,9 +22,44 @@ from repro.mem.mainmem import MainMemory
 from repro.mem.store import WordStore
 from repro.noc.network import Network
 from repro.protocols import ops
+from repro.protocols.table import TransitionTable
 from repro.sim.engine import Engine
 from repro.sim.future import Future
 from repro.sim.stats import Stats
+
+# --------------------------------------------------- transition-table registry
+#
+# Every protocol family registers its declarative FSMs here at import
+# time (``mesi/table.py``, ``vips/table.py``, ``callback/table.py``).
+# The live protocol classes execute these tables for their state
+# changes and ``repro.analyze.mc`` explores them exhaustively; the
+# spec-coverage lint (CB-A211) fails any protocol without one.
+
+_TABLES: Dict[str, Dict[str, TransitionTable]] = {}
+
+
+def register_table(table: TransitionTable) -> TransitionTable:
+    """Register a protocol FSM; returns the table for assignment chaining."""
+    _TABLES.setdefault(table.protocol, {})[table.fsm] = table
+    return table
+
+
+def tables_for(protocol: str) -> Mapping[str, TransitionTable]:
+    """The registered FSMs of one protocol family, keyed by FSM name."""
+    return dict(_TABLES.get(protocol, {}))
+
+
+def registered_tables() -> Dict[str, Dict[str, TransitionTable]]:
+    """All registered tables: ``{protocol: {fsm: table}}``."""
+    return {protocol: dict(tables) for protocol, tables in _TABLES.items()}
+
+
+# Per-class resolved handler maps for CoherenceProtocol.issue():
+# ``{protocol class: {op type: unbound handler}}``. Resolving once per
+# class (instead of a getattr per call) keeps subclass overrides intact
+# while removing ~40% of dispatch overhead on the issue() hot path —
+# see benchmarks/bench_dispatch.py and ROADMAP item 1.
+_HANDLER_CACHE: Dict[type, Dict[type, Callable[..., Future]]] = {}
 
 
 class BankPort:
@@ -66,16 +101,30 @@ class CoherenceProtocol:
         # Lines whose data is resident in the LLC (first touch pays DRAM).
         self._llc_present: set = set()
         #: Telemetry probe bus (set when a Telemetry attaches), else None.
-        self.obs = None
+        self.obs: Optional[Any] = None
+        # Op dispatch: resolved once per concrete class, not per call.
+        self._handlers = self._resolve_handlers()
 
     # ------------------------------------------------------------------ API
 
+    @classmethod
+    def _resolve_handlers(cls) -> Dict[type, Callable[..., Future]]:
+        """The op-type -> handler map for this class, resolved through the
+        MRO exactly once (so subclass overrides apply, without paying a
+        ``getattr`` on every :meth:`issue` call)."""
+        handlers = _HANDLER_CACHE.get(cls)
+        if handlers is None:
+            handlers = {op_type: getattr(cls, name)
+                        for op_type, name in _DISPATCH.items()}
+            _HANDLER_CACHE[cls] = handlers
+        return handlers
+
     def issue(self, core: int, op: ops.Op) -> Future:
         """Start one memory operation for ``core``; resolve when done."""
-        name = self._DISPATCH.get(type(op))
-        if name is None:
+        handler = self._handlers.get(type(op))
+        if handler is None:
             raise TypeError(f"{type(self).__name__} cannot execute {op!r}")
-        return getattr(self, name)(core, op)
+        return handler(self, core, op)
 
     # Subclasses override these; the table maps op types to method names.
     def _op_load(self, core: int, op: ops.Load) -> Future:
@@ -208,15 +257,16 @@ class CoherenceProtocol:
             "classifier": self.classifier.ckpt_state(),
         }
 
-    def resolve_later(self, future: Future, delay: int, value=None) -> None:
+    def resolve_later(self, future: Future, delay: int,
+                      value: object = None) -> None:
         """Resolve ``future`` after ``delay`` cycles (always via the engine,
         so completions never recurse into the core synchronously)."""
         self.engine.schedule(max(1, delay), lambda: future.resolve(value))
 
 
-# Dispatch table shared by all subclasses: op type -> method name. Method
-# names are resolved with getattr at call time so subclass overrides apply.
-CoherenceProtocol._DISPATCH = {
+# Dispatch table shared by all subclasses: op type -> method name, the
+# source from which _resolve_handlers builds each class's handler map.
+_DISPATCH: Dict[type, str] = {
     ops.Load: "_op_load",
     ops.Store: "_op_store",
     ops.LoadThrough: "_op_load_through",

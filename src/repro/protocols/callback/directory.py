@@ -19,16 +19,22 @@ from typing import Callable, List, Optional, Tuple
 from repro.config import SystemConfig, WakePolicy
 from repro.mem.cache import SetAssociativeCache
 from repro.protocols.callback.entry import CBEntry, Waiter
+from repro.protocols.table import TransitionTable
 from repro.sim.stats import Stats
 
 
 class CallbackDirectory:
     """Per-bank directory cache of :class:`CBEntry` records."""
 
-    def __init__(self, config: SystemConfig, stats: Stats, bank: int) -> None:
+    def __init__(self, config: SystemConfig, stats: Stats, bank: int,
+                 entry_table: Optional[TransitionTable] = None) -> None:
         self.config = config
         self.stats = stats
         self.bank = bank
+        #: Entry FSM executed by every resident CBEntry. Defaults to the
+        #: registered callback table; the model-checker replay harness
+        #: injects seeded-mutant tables here.
+        self.entry_table = entry_table
         # Fully associative by default (cb_sets_per_bank == 1, the
         # paper's design); more sets model a cheaper, conflict-prone
         # organization. Keys are word addresses; the generic cache's
@@ -53,7 +59,7 @@ class CallbackDirectory:
         cached = self._cache.lookup(word)
         if cached is not None:
             return cached.payload, []
-        entry = CBEntry(word, self.config.num_threads)
+        entry = CBEntry(word, self.config.num_threads, table=self.entry_table)
         _inserted, victim = self._cache.insert(word, entry)
         self.stats.cb_installs += 1
         if self.obs is not None:
@@ -95,6 +101,20 @@ class CallbackDirectory:
 
     def rng_next(self, bound: int) -> int:
         return self._rng.randrange(bound)
+
+    def discard(self, word: int) -> List[Waiter]:
+        """Drop ``word``'s entry WITHOUT answering its callbacks.
+
+        No live protocol path does this — eviction always wakes
+        (Section 2.3.1). The model-checker replay harness uses it to
+        mirror a mutant table's emit-driven deallocation (``free`` on a
+        write), so seeded-bad counterexamples reproduce bit-for-bit.
+        Returns the orphaned waiters for the harness to account for.
+        """
+        victim = self._cache.remove(word)
+        if victim is None:
+            return []
+        return list(victim.payload.waiters.values())
 
     # --------------------------------------------------------------- writes
 
@@ -150,6 +170,11 @@ class CallbackDirectory:
 
     def resident_words(self) -> List[int]:
         return self._cache.lines()
+
+    def resident_entries(self) -> List[CBEntry]:
+        """Resident entries in replacement order (oldest first), without
+        touching recency — observation only."""
+        return [line.payload for line in self._cache]
 
     def ckpt_state(self) -> dict:
         """Resident entries (replacement order preserved) plus a digest

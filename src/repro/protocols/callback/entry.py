@@ -13,6 +13,14 @@ The semantics follow Section 2 of the paper:
   all of them; st_cb1 wakes exactly one waiter leaving F/E undisturbed;
   st_cb0 wakes nobody and leaves F/E empty.
 
+The bit-vector semantics themselves live in the declarative
+:data:`~repro.protocols.callback.table.CALLBACK_ENTRY_TABLE`; this class
+is the stateful wrapper the live simulator uses. Every state change goes
+through a table step, so the FSM the model checker explores is — by
+construction — the FSM the simulator executes. A mutant table can be
+injected (``table=`` argument) to replay checker counterexamples against
+seeded-bad semantics.
+
 Waiters are stored per core with an opaque ``wake(value)`` closure: the
 protocol supplies a closure that either sends a Wakeup message to the core
 (plain ``ld_cb``) or executes the parked RMW at the LLC (Section 2.6).
@@ -20,9 +28,11 @@ protocol supplies a closure that either sends a Wakeup message to the core
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.config import WakePolicy
+from repro.protocols.callback.table import CALLBACK_ENTRY_TABLE, callback_cores
+from repro.protocols.table import Event, StepResult, TransitionTable
 
 
 class Waiter:
@@ -45,18 +55,46 @@ class CBEntry:
     """F/E + CB bit vectors for one word address."""
 
     __slots__ = ("word", "num_cores", "fe", "cb", "mode_all", "rr_ptr",
-                 "waiters", "arrival")
+                 "waiters", "arrival", "table", "last_step")
 
-    def __init__(self, word: int, num_cores: int) -> None:
+    def __init__(self, word: int, num_cores: int,
+                 table: Optional[TransitionTable] = None) -> None:
         self.word = word
         self.num_cores = num_cores
-        full = (1 << num_cores) - 1
-        self.fe = full          # all full on (re-)initialization
-        self.cb = 0             # no callbacks
-        self.mode_all = True    # A/O bit: "All" by default
-        self.rr_ptr = 0         # round-robin scan start for callback-one
+        self.table = table if table is not None else CALLBACK_ENTRY_TABLE
         self.waiters: Dict[int, Waiter] = {}
-        self.arrival: List[int] = []  # FIFO arrival order of waiters
+        self.last_step: Optional[StepResult] = None
+        self._adopt(self.table.initial(num_cores))
+
+    # ----------------------------------------------------------- table glue
+
+    def _view(self) -> Dict[str, object]:
+        return {"fe": self.fe, "cb": self.cb, "mode_all": self.mode_all,
+                "rr": self.rr_ptr, "arrival": tuple(self.arrival),
+                "n": self.num_cores}
+
+    def _adopt(self, state: Mapping[str, Any]) -> None:
+        self.fe = int(state["fe"])
+        self.cb = int(state["cb"])
+        self.mode_all = bool(state["mode_all"])
+        self.rr_ptr = int(state["rr"])
+        self.arrival = list(state["arrival"])
+
+    def _step(self, event: Event) -> StepResult:
+        result = self.table.step(self._view(), event)
+        self._adopt(result.state)
+        # Exposed for the model-checker replay harness, which inspects
+        # the emits (e.g. a mutant table emitting ``free`` on a write).
+        self.last_step = result
+        return result
+
+    def _pop_woken(self, result: StepResult) -> List[Waiter]:
+        """Waiter objects for the wake emits, in emit order. A mutant
+        table may emit wakes for cores it never parked (or drop parked
+        cores); only cores actually present in the waiter map are popped,
+        so seeded-bad semantics manifest concretely as lost waiters."""
+        return [self.waiters.pop(emit.core) for emit in result.emits
+                if emit.kind == "wake" and emit.core in self.waiters]
 
     # ----------------------------------------------------------- bit helpers
 
@@ -71,7 +109,7 @@ class CBEntry:
         return self.cb != 0
 
     def callback_cores(self) -> List[int]:
-        return [c for c in range(self.num_cores) if self.cb & (1 << c)]
+        return callback_cores(self.cb, self.num_cores)
 
     # -------------------------------------------------------------- consume
 
@@ -80,15 +118,8 @@ class CBEntry:
 
         All mode: the core's own bit. One mode: all bits act in unison.
         """
-        if self.mode_all:
-            if self.fe & (1 << core):
-                self.fe &= ~(1 << core)
-                return True
-            return False
-        if self.fe == self.full_mask:
-            self.fe = 0
-            return True
-        return False
+        result = self._step(Event("consume", core=core))
+        return result.transition.name == "consume_hit"
 
     # ---------------------------------------------------------------- park
 
@@ -97,61 +128,34 @@ class CBEntry:
             raise RuntimeError(
                 f"core {waiter.core} already has a callback on {self.word:#x}"
             )
+        self._step(Event("park", core=waiter.core))
         waiter.word = self.word
-        self.cb |= 1 << waiter.core
         self.waiters[waiter.core] = waiter
-        self.arrival.append(waiter.core)
-
-    def _pop_waiter(self, core: int) -> Waiter:
-        self.cb &= ~(1 << core)
-        self.arrival.remove(core)
-        return self.waiters.pop(core)
 
     # --------------------------------------------------------------- writes
 
     def write_all(self, value: int) -> List[Waiter]:
         """st_cbA / st_through: wake everybody; cores without a callback get
         their F/E bit set full. Resets the A/O bit to All."""
-        self.mode_all = True
-        woken = [self._pop_waiter(c) for c in self.callback_cores()]
-        woken_mask = 0
-        for waiter in woken:
-            woken_mask |= 1 << waiter.core
-        # Waiters consumed the write (F/E stays empty); everyone else may
-        # now read it directly.
-        self.fe = self.full_mask & ~woken_mask
-        return woken
+        return self._pop_woken(self._step(Event("write_all")))
 
     def write_one(self, value: int, policy: WakePolicy,
                   rng_next: Callable[[int], int]) -> Optional[Waiter]:
         """st_cb1: One mode; wake a single waiter (F/E undisturbed), or, if
         nobody waits, make the value consumable once (all F/E full)."""
-        self.mode_all = False
-        if not self.cb:
-            self.fe = self.full_mask
-            return None
-        victim = self._choose(policy, rng_next)
-        return self._pop_waiter(victim)
+        pick = 0
+        if policy is WakePolicy.RANDOM and self.cb:
+            # Draw from the caller's RNG stream exactly when the legacy
+            # imperative code did, preserving seeded-run bit parity.
+            pick = rng_next(len(self.callback_cores()))
+        result = self._step(Event("write_one",
+                                  payload={"policy": policy, "pick": pick}))
+        woken = self._pop_woken(result)
+        return woken[0] if woken else None
 
     def write_zero(self, value: int) -> None:
         """st_cb0: One mode; wake nobody; the value is not consumable."""
-        self.mode_all = False
-        self.fe = 0
-
-    def _choose(self, policy: WakePolicy, rng_next: Callable[[int], int]) -> int:
-        cores = self.callback_cores()
-        if policy is WakePolicy.FIFO:
-            return self.arrival[0]
-        if policy is WakePolicy.RANDOM:
-            return cores[rng_next(len(cores))]
-        # Pseudo-random round-robin (the paper's policy): scan upward from
-        # the rotating pointer, wrapping at the highest core id.
-        for offset in range(self.num_cores):
-            candidate = (self.rr_ptr + offset) % self.num_cores
-            if self.cb & (1 << candidate):
-                self.rr_ptr = (candidate + 1) % self.num_cores
-                return candidate
-        raise RuntimeError("no callback set")  # pragma: no cover
+        self._step(Event("write_zero"))
 
     # ----------------------------------------------------------- checkpoint
 
@@ -171,5 +175,4 @@ class CBEntry:
     def evict(self) -> List[Waiter]:
         """Replacement: answer every pending callback with the current
         value; all bits are lost (the entry object is discarded)."""
-        woken = [self._pop_waiter(c) for c in self.callback_cores()]
-        return woken
+        return self._pop_woken(self._step(Event("evict")))

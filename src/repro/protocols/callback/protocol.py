@@ -24,7 +24,7 @@ Operation mapping (Figure 2):
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.noc.messages import MsgKind
 from repro.protocols import ops
@@ -37,7 +37,7 @@ from repro.sim.future import Future
 class CallbackProtocol(VIPSProtocol):
     """Self-invalidation coherence with callbacks for spin-waiting."""
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.cb_dirs = [
             CallbackDirectory(self.config, self.stats, bank)

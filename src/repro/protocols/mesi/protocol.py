@@ -25,13 +25,15 @@ acked and otherwise ignored).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.mem.cache import SetAssociativeCache
 from repro.noc.messages import MsgKind
 from repro.protocols import ops
 from repro.protocols.base import CoherenceProtocol
 from repro.protocols.mesi.states import DirEntry, L1Line, MESIState
+from repro.protocols.mesi.table import MESI_DIR_TABLE, MESI_L1_TABLE
+from repro.protocols.table import Event as TableEvent
 from repro.sim.future import Future
 
 
@@ -40,7 +42,8 @@ class _Watch:
 
     __slots__ = ("pred", "future", "start", "word_addr", "tid")
 
-    def __init__(self, pred, future, start, word_addr):
+    def __init__(self, pred: Callable[[int], bool], future: Future,
+                 start: int, word_addr: int) -> None:
         self.pred = pred
         self.future = future
         self.start = start
@@ -51,7 +54,7 @@ class _Watch:
 class MESIProtocol(CoherenceProtocol):
     """Directory-based MESI over the mesh ("Invalidation" in the paper)."""
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         cfg = self.config
         self.l1 = [
@@ -114,25 +117,27 @@ class MESIProtocol(CoherenceProtocol):
         return payload
 
     def _evict(self, core: int, line: int, payload: L1Line) -> None:
-        """Handle an L1 replacement victim (PutM / PutE / silent)."""
+        """Handle an L1 replacement victim: the L1 table names the
+        action (data-bearing PutM, control PutE, or silent S drop)."""
         bank = line % self.config.num_banks
-        if payload.state is MESIState.MODIFIED:
+        step = MESI_L1_TABLE.step({"mesi": payload.state.value},
+                                  TableEvent("evict"))
+        actions = {emit.kind for emit in step.emits}
+        if "putm" in actions:
             self.stats.writebacks += 1
             self.network.send(
                 core, bank, MsgKind.PUTM, lambda: self._dir_put(line, core)
             )
-        elif payload.state is MESIState.EXCLUSIVE:
+        elif "pute" in actions:
             self.network.send(
                 core, bank, MsgKind.ACK, lambda: self._dir_put(line, core)
             )
-        else:
-            # Silent S eviction; the directory keeps a stale sharer.
-            pass
+        # Otherwise: silent S eviction; the directory keeps a stale sharer.
 
     def _dir_put(self, line: int, core: int) -> None:
         entry = self._entry(line)
-        if entry.owner == core:
-            entry.owner = None
+        step = MESI_DIR_TABLE.step(entry.view(), TableEvent("put", core=core))
+        entry.adopt(step.state)
 
     def _invalidate_l1(self, core: int, line: int) -> None:
         """An invalidation (or owner-forward) kills the L1 copy and wakes
@@ -226,13 +231,18 @@ class MESIProtocol(CoherenceProtocol):
             sync=sync,
         )
 
-    def _dir_gets(self, tid, line, bank, on_fill, sync) -> None:
+    def _dir_gets(self, tid: int, line: int, bank: int,
+                  on_fill: Callable[[L1Line], None], sync: bool) -> None:
         """Directory identities (owner/sharers) are L1/core indices; the
-        requesting hardware thread keeps its tid for the fill."""
+        requesting hardware thread keeps its tid for the fill. The
+        decision (forward vs. fill, E vs. S) comes from the declarative
+        directory table; this method adds the timing and messaging."""
         node = self.l1_of(tid)
         entry = self._entry(line)
-        if entry.owner is not None and entry.owner != node:
-            owner = entry.owner
+        step = MESI_DIR_TABLE.step(entry.view(), TableEvent("gets", core=node))
+        if step.transition.name == "gets_forward":
+            owner = next(e.core for e in step.emits if e.kind == "fwd")
+            assert owner is not None
             self.stats.forwards += 1
             wait = self.bank_service(bank, data=False, sync=sync)
             # Fwd to owner; owner downgrades to S, sends data to requester
@@ -240,7 +250,7 @@ class MESIProtocol(CoherenceProtocol):
             def at_owner() -> None:
                 cached = self.l1[owner].lookup(line)
                 if cached is not None:
-                    cached.payload.state = MESIState.SHARED
+                    cached.payload.transition("fwd_gets")
                 self.network.send(owner, bank, MsgKind.DATA, lambda: None)
                 self.stats.writebacks += 1
                 self.network.send(
@@ -252,17 +262,15 @@ class MESIProtocol(CoherenceProtocol):
                                  lambda: self.network.send(bank, owner,
                                                            MsgKind.FWD,
                                                            at_owner))
-            entry.sharers.update({owner, node})
-            entry.owner = None
+            entry.adopt(step.state)
         else:
             wait = self.bank_service(bank, data=True, sync=sync)
             wait += self.llc_fill_latency(line)
-            grant_exclusive = not entry.sharers and entry.owner is None
-            state = MESIState.EXCLUSIVE if grant_exclusive else MESIState.SHARED
-            if grant_exclusive:
-                entry.owner = node
-            else:
-                entry.sharers.add(node)
+            grant = next(e.get("grant") for e in step.emits
+                         if e.kind == "data")
+            state = (MESIState.EXCLUSIVE if grant == "E"
+                     else MESIState.SHARED)
+            entry.adopt(step.state)
             self.engine.schedule(
                 wait,
                 lambda: self.network.send(
@@ -271,7 +279,8 @@ class MESIProtocol(CoherenceProtocol):
                 ),
             )
 
-    def _finish_gets(self, core, line, state, on_fill) -> None:
+    def _finish_gets(self, core: int, line: int, state: MESIState,
+                     on_fill: Callable[[L1Line], None]) -> None:
         payload = self._l1_fill(core, line, state)
         # Unblock the directory (free bookkeeping event, modelling the
         # piggybacked Unblock of split-transaction MESI).
@@ -288,7 +297,7 @@ class MESIProtocol(CoherenceProtocol):
             on_owned(cached)
             return
         if cached is not None and cached.state is MESIState.EXCLUSIVE:
-            cached.state = MESIState.MODIFIED
+            cached.transition("store")
             on_owned(cached)
             return
         self.stats.l1_misses += 1
@@ -301,11 +310,14 @@ class MESIProtocol(CoherenceProtocol):
             sync=sync,
         )
 
-    def _dir_getx(self, tid, line, bank, on_owned, sync) -> None:
+    def _dir_getx(self, tid: int, line: int, bank: int,
+                  on_owned: Callable[[L1Line], None], sync: bool) -> None:
         node = self.l1_of(tid)
         entry = self._entry(line)
-        if entry.owner is not None and entry.owner != node:
-            owner = entry.owner
+        step = MESI_DIR_TABLE.step(entry.view(), TableEvent("getx", core=node))
+        if step.transition.name == "getx_forward":
+            owner = next(e.core for e in step.emits if e.kind == "fwd")
+            assert owner is not None
             self.stats.forwards += 1
             wait = self.bank_service(bank, data=False, sync=sync)
 
@@ -319,14 +331,14 @@ class MESIProtocol(CoherenceProtocol):
             self.engine.schedule(
                 wait, lambda: self.network.send(bank, owner, MsgKind.FWD,
                                                 at_owner))
-            entry.owner = node
-            entry.sharers.clear()
+            entry.adopt(step.state)
             return
 
-        sharers = {s for s in entry.sharers if s != node}
-        was_sharer = node in entry.sharers or entry.owner == node
-        entry.sharers.clear()
-        entry.owner = node
+        # The table plans the invalidation fan-out (ascending sharer
+        # order) and whether the requester needs data or just an ack.
+        sharers = [e.core for e in step.emits if e.kind == "inv"]
+        was_sharer = any(e.kind == "grant" for e in step.emits)
+        entry.adopt(step.state)
 
         # Completion requires the grant/data plus one ack per invalidated
         # sharer, all collected at the requester.
@@ -342,6 +354,7 @@ class MESIProtocol(CoherenceProtocol):
             wait += self.llc_fill_latency(line)
 
         for sharer in sharers:
+            assert sharer is not None
             self.stats.invalidations_sent += 1
             if self.obs is not None:
                 self.obs.emit("mesi.inv", line=line, sharer=sharer,
@@ -362,7 +375,8 @@ class MESIProtocol(CoherenceProtocol):
         self.engine.schedule(
             wait, lambda: self.network.send(bank, node, grant_kind, arrived))
 
-    def _finish_getx(self, core, line, on_owned) -> None:
+    def _finish_getx(self, core: int, line: int,
+                     on_owned: Callable[[L1Line], None]) -> None:
         payload = self._l1_fill(core, line, MESIState.MODIFIED)
         self._dir_release(line)
         on_owned(payload)
@@ -402,7 +416,7 @@ class MESIProtocol(CoherenceProtocol):
         if cached is not None and cached.state in (MESIState.MODIFIED,
                                                    MESIState.EXCLUSIVE):
             self.stats.l1_hits += 1
-            cached.state = MESIState.MODIFIED
+            cached.transition("store")
             commit(cached)
         else:
             self._get_x(core, line, commit, sync=op.value is not None)
@@ -430,7 +444,7 @@ class MESIProtocol(CoherenceProtocol):
             owned(cached)
         elif cached is not None and cached.state is MESIState.EXCLUSIVE:
             self.stats.l1_hits += 1
-            cached.state = MESIState.MODIFIED
+            cached.transition("store")
             owned(cached)
         else:
             self._get_x(core, line, owned, sync=True)
@@ -468,8 +482,8 @@ class MESIProtocol(CoherenceProtocol):
                            future)
         return future
 
-    def _spin_attempt(self, core: int, word_addr: int, pred, future: Future
-                      ) -> None:
+    def _spin_attempt(self, core: int, word_addr: int,
+                      pred: Callable[[int], bool], future: Future) -> None:
         line = self.addr_map.line_of(word_addr)
         self.stats.l1_accesses += 1
         cached = self._l1_lookup(core, line)
@@ -491,7 +505,8 @@ class MESIProtocol(CoherenceProtocol):
 
         self._get_s(core, line, filled, sync=True)
 
-    def _park_watch(self, tid, line, word_addr, pred, future) -> None:
+    def _park_watch(self, tid: int, line: int, word_addr: int,
+                    pred: Callable[[int], bool], future: Future) -> None:
         watch = _Watch(pred, future, self.engine.now, word_addr)
         watch.tid = tid
         bucket = self._watches.setdefault(self.l1_of(tid), {})

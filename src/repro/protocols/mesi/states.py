@@ -15,7 +15,10 @@ serialization, as in any MESI implementation.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set
+
+from repro.protocols.mesi.table import MESI_L1_TABLE
+from repro.protocols.table import Event
 
 
 class MESIState(enum.Enum):
@@ -45,6 +48,13 @@ class L1Line:
     def write_word(self, word_addr: int, value: int) -> None:
         self.snapshot[word_addr] = value
 
+    def transition(self, kind: str) -> None:
+        """Advance the line via the declarative L1 table (``store``
+        upgrade, ``fwd_gets`` downgrade, ``inv``). The table is the
+        single source of truth the model checker explores."""
+        result = MESI_L1_TABLE.step({"mesi": self.state.value}, Event(kind))
+        self.state = MESIState(result.state["mesi"])
+
     def ckpt_state(self) -> Dict[str, object]:
         """MESI state + fill-time value snapshot (checkpoint capture)."""
         return {"state": self.state.value,
@@ -69,6 +79,18 @@ class DirEntry:
         if self.sharers:
             return "S"
         return "I"
+
+    def view(self) -> Dict[str, Any]:
+        """The directory-table state for this record (the stable part;
+        ``busy``/``queue`` are serialization plumbing the table never
+        sees — it only receives requests that won arbitration)."""
+        return {"owner": self.owner, "sharers": frozenset(self.sharers)}
+
+    def adopt(self, state: Mapping[str, Any]) -> None:
+        """Install a directory-table next-state."""
+        self.owner = state["owner"]
+        self.sharers.clear()
+        self.sharers.update(state["sharers"])
 
     def ckpt_state(self) -> Dict[str, object]:
         """Owner/sharers/serialization point (checkpoint capture). The

@@ -1,0 +1,198 @@
+"""Declarative FSMs for the MESI baseline: directory record + L1 line.
+
+Two tables, both executed by the live simulator and explored by the
+model checker:
+
+* ``MESI_DIR_TABLE`` — the home-bank directory decision for each
+  coherence request. State is ``{"owner": Optional[int], "sharers":
+  frozenset}`` (the stable part of :class:`DirEntry`; the ``busy`` flag
+  and deferred-request queue are *serialization* plumbing, not protocol
+  state — the table sees only requests that won arbitration). Emits
+  carry the message plan: ``fwd``/``inv`` to third parties, ``data`` or
+  ``grant`` (ack-only upgrade) to the requester, ``writeback`` when the
+  owner must copy data back to the LLC.
+* ``MESI_L1_TABLE`` — the per-line L1 cache state. State is
+  ``{"mesi": "I"|"S"|"E"|"M"}``. The ``evict`` event emits the
+  replacement action (``putm`` + ``writeback``, ``pute``, or silent).
+
+Invalidation fan-out order: the table emits ``inv`` messages in
+ascending sharer order, which is the order the simulator sends them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.protocols.table import Effect, Emit, Event, State, Transition, TransitionTable
+
+__all__ = ["MESI_DIR_TABLE", "MESI_L1_TABLE", "initial_dir", "initial_l1"]
+
+
+# ------------------------------------------------------------ directory FSM
+
+
+def initial_dir() -> State:
+    return {"owner": None, "sharers": frozenset()}
+
+
+def _owner(state: Mapping[str, Any]) -> Optional[int]:
+    return state["owner"]
+
+
+def _g_gets_forward(state: Mapping[str, Any], event: Event) -> bool:
+    return _owner(state) is not None and _owner(state) != event.core
+
+
+def _a_gets_forward(state: Mapping[str, Any], event: Event) -> Effect:
+    # Fwd to owner; owner downgrades to S, sends data to the requester
+    # and a (data) copy back to the LLC; both end up sharers.
+    owner = _owner(state)
+    assert owner is not None and event.core is not None
+    nxt = {"owner": None,
+           "sharers": frozenset(state["sharers"]) | {owner, event.core}}
+    return Effect(nxt, (
+        Emit("fwd", core=owner),
+        Emit("writeback", core=owner),
+        Emit("data", core=event.core, info=(("grant", "S"),)),
+    ))
+
+
+def _g_gets_fill_e(state: Mapping[str, Any], event: Event) -> bool:
+    return _owner(state) is None and not state["sharers"]
+
+
+def _a_gets_fill_e(state: Mapping[str, Any], event: Event) -> Effect:
+    nxt = {"owner": event.core, "sharers": frozenset()}
+    return Effect(nxt, (Emit("data", core=event.core, info=(("grant", "E"),)),))
+
+
+def _g_gets_fill_s(state: Mapping[str, Any], event: Event) -> bool:
+    return not _g_gets_forward(state, event) and not _g_gets_fill_e(state, event)
+
+
+def _a_gets_fill_s(state: Mapping[str, Any], event: Event) -> Effect:
+    assert event.core is not None
+    nxt = {"owner": _owner(state),
+           "sharers": frozenset(state["sharers"]) | {event.core}}
+    return Effect(nxt, (Emit("data", core=event.core, info=(("grant", "S"),)),))
+
+
+def _g_getx_forward(state: Mapping[str, Any], event: Event) -> bool:
+    return _owner(state) is not None and _owner(state) != event.core
+
+
+def _a_getx_forward(state: Mapping[str, Any], event: Event) -> Effect:
+    owner = _owner(state)
+    assert owner is not None
+    nxt = {"owner": event.core, "sharers": frozenset()}
+    return Effect(nxt, (
+        Emit("fwd", core=owner),
+        Emit("inv", core=owner),
+        Emit("data", core=event.core, info=(("grant", "M"),)),
+    ))
+
+
+def _g_getx_local(state: Mapping[str, Any], event: Event) -> bool:
+    return not _g_getx_forward(state, event)
+
+
+def _a_getx_local(state: Mapping[str, Any], event: Event) -> Effect:
+    # Invalidate every other sharer (ascending fan-out); the requester
+    # gets an ack-only grant if it already held a copy, data otherwise.
+    requester = event.core
+    assert requester is not None
+    invalidees = sorted(set(state["sharers"]) - {requester})
+    was_sharer = requester in state["sharers"] or _owner(state) == requester
+    nxt = {"owner": requester, "sharers": frozenset()}
+    emits = tuple(Emit("inv", core=sharer) for sharer in invalidees)
+    emits += (Emit("grant" if was_sharer else "data", core=requester,
+                   info=(("grant", "M"),)),)
+    return Effect(nxt, emits)
+
+
+def _g_put_owner(state: Mapping[str, Any], event: Event) -> bool:
+    return _owner(state) == event.core
+
+
+def _a_put_owner(state: Mapping[str, Any], event: Event) -> Effect:
+    return Effect({"owner": None, "sharers": frozenset(state["sharers"])})
+
+
+def _g_put_stale(state: Mapping[str, Any], event: Event) -> bool:
+    return _owner(state) != event.core
+
+
+def _a_identity(state: Mapping[str, Any], event: Event) -> Effect:
+    return Effect(dict(state))
+
+
+MESI_DIR_TABLE = TransitionTable(
+    protocol="mesi",
+    fsm="directory",
+    initial=initial_dir,
+    description="Home-bank directory record (owner + sharer set)",
+    transitions=(
+        Transition("gets_forward", "gets", _g_gets_forward, _a_gets_forward,
+                   "GetS with a remote E/M owner: forward; owner downgrades"),
+        Transition("gets_fill_e", "gets", _g_gets_fill_e, _a_gets_fill_e,
+                   "GetS on an idle line: fill Exclusive from the LLC"),
+        Transition("gets_fill_s", "gets", _g_gets_fill_s, _a_gets_fill_s,
+                   "GetS with existing sharers: fill Shared from the LLC"),
+        Transition("getx_forward", "getx", _g_getx_forward, _a_getx_forward,
+                   "GetX with a remote E/M owner: forward + invalidate owner"),
+        Transition("getx_local", "getx", _g_getx_local, _a_getx_local,
+                   "GetX at the LLC: invalidate all other sharers, grant M"),
+        Transition("put_owner", "put", _g_put_owner, _a_put_owner,
+                   "PutM/PutE from the current owner clears ownership"),
+        Transition("put_stale", "put", _g_put_stale, _a_identity,
+                   "Stale Put (ownership already moved): ignore"),
+    ),
+)
+
+
+# ------------------------------------------------------------------- L1 FSM
+
+
+def initial_l1() -> State:
+    return {"mesi": "I"}
+
+
+def _in(*states: str) -> Any:
+    def guard(state: Mapping[str, Any], event: Event) -> bool:
+        return state["mesi"] in states
+    return guard
+
+
+def _to(mesi: str, *emits: Emit) -> Any:
+    def apply(state: Mapping[str, Any], event: Event) -> Effect:
+        return Effect({"mesi": mesi}, tuple(emits))
+    return apply
+
+
+def _a_fill(state: Mapping[str, Any], event: Event) -> Effect:
+    return Effect({"mesi": event.get("grant", "S")})
+
+
+MESI_L1_TABLE = TransitionTable(
+    protocol="mesi",
+    fsm="l1_line",
+    initial=initial_l1,
+    description="Per-line L1 cache state (I/S/E/M)",
+    transitions=(
+        Transition("fill", "fill", _in("I"), _a_fill,
+                   "Install at the grant state the directory chose"),
+        Transition("store", "store", _in("E", "M"), _to("M"),
+                   "Local write commit: silent E->M upgrade, M stays M"),
+        Transition("fwd_gets", "fwd_gets", _in("S", "E", "M"), _to("S"),
+                   "Owner downgrade on a forwarded GetS"),
+        Transition("inv", "inv", _in("S", "E", "M"), _to("I", Emit("ack")),
+                   "Invalidation kills the copy and acks the requester"),
+        Transition("evict_m", "evict", _in("M"),
+                   _to("I", Emit("putm"), Emit("writeback")),
+                   "Replace a Modified line: data-bearing PutM"),
+        Transition("evict_e", "evict", _in("E"), _to("I", Emit("pute")),
+                   "Replace an Exclusive line: control-only PutE"),
+        Transition("evict_s", "evict", _in("S", "I"), _to("I"),
+                   "Silent S eviction (directory tolerates stale sharers)"),
+    ),
+)

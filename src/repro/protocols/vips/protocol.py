@@ -26,12 +26,17 @@ top of an unchanged VIPS-M.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Set
 
 from repro.mem.cache import SetAssociativeCache
 from repro.noc.messages import MsgKind
 from repro.protocols import ops
 from repro.protocols.base import CoherenceProtocol
+from repro.protocols.vips.table import (
+    drops_on_self_invl,
+    flushes_on_fence,
+    writes_back_on_evict,
+)
 from repro.sim.future import Future, WaitQueue
 
 
@@ -42,17 +47,23 @@ class VIPSLine:
 
     def __init__(self, shared: bool) -> None:
         self.shared = shared
-        self.dirty_words: set = set()
+        self.dirty_words: Set[int] = set()
 
-    def ckpt_state(self) -> dict:
+    def ckpt_state(self) -> Dict[str, object]:
         """Classification + dirty-word mask (checkpoint capture)."""
         return {"shared": self.shared, "dirty": sorted(self.dirty_words)}
 
 
 class VIPSProtocol(CoherenceProtocol):
-    """Self-invalidation + self-downgrade, LLC spinning with back-off."""
+    """Self-invalidation + self-downgrade, LLC spinning with back-off.
 
-    def __init__(self, *args, **kwargs) -> None:
+    Fence and eviction decisions come from the predicates in
+    :mod:`repro.protocols.vips.table` — the same predicates the
+    declarative ``VIPS_L1_TABLE`` wires into its guards, so the model
+    checker explores exactly the discipline executed here.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         cfg = self.config
         self.l1 = [
@@ -147,7 +158,7 @@ class VIPSProtocol(CoherenceProtocol):
     def _write_back_victim(self, core: int, line: int, payload: VIPSLine
                            ) -> None:
         """Evicted dirty lines write their dirty words through."""
-        if payload.dirty_words:
+        if writes_back_on_evict(payload.dirty_words):
             bank = line % self.config.num_banks
             self.stats.words_written_through += len(payload.dirty_words)
             self.stats.writebacks += 1
@@ -185,7 +196,7 @@ class VIPSProtocol(CoherenceProtocol):
             # words so that the invalidation cannot lose data.
             flush_delay = self._flush_dirty_shared(core)
             removed = self.l1[self.l1_of(core)].evict_matching(
-                lambda entry: entry.payload.shared
+                lambda entry: drops_on_self_invl(entry.payload.shared)
             )
             self.stats.self_invalidations += 1
             self.stats.lines_self_invalidated += len(removed)
@@ -211,7 +222,7 @@ class VIPSProtocol(CoherenceProtocol):
         node = self.l1_of(core)
         for entry in self.l1[node]:
             payload: VIPSLine = entry.payload
-            if not payload.shared or not payload.dirty_words:
+            if not flushes_on_fence(payload.shared, payload.dirty_words):
                 continue
             bank = entry.line % self.config.num_banks
             count = len(payload.dirty_words)

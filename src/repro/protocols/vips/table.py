@@ -1,0 +1,156 @@
+"""Declarative FSM for the VIPS-M L1 line (self-invalidation family).
+
+State is ``{"present": bool, "shared": bool, "dirty": frozenset}`` — a
+line's residency, its private/shared classification at fill time, and
+the set of dirty word addresses awaiting write-through.
+
+The guard logic lives in module-level pure predicates
+(:func:`drops_on_self_invl`, :func:`flushes_on_fence`,
+:func:`writes_back_on_evict`) that the live
+:class:`~repro.protocols.vips.protocol.VIPSProtocol` imports for its
+fence and eviction paths, while the table wires the same predicates
+into transitions for the model checker — one definition, two consumers.
+
+Fence semantics (Section 3.1 + footnote 7):
+
+* ``self_invl`` (acquire) discards every *shared* line, first flushing
+  any transient dirty shared words so invalidation cannot lose data.
+* ``self_down`` (release) writes every dirty shared word through,
+  keeping the line resident.
+* Private lines are untouched by fences (VIPS-M excludes private data
+  from coherence).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Mapping
+
+from repro.protocols.table import Effect, Emit, Event, State, Transition, TransitionTable
+
+__all__ = [
+    "VIPS_L1_TABLE",
+    "drops_on_self_invl",
+    "flushes_on_fence",
+    "initial_line",
+    "writes_back_on_evict",
+]
+
+
+def initial_line() -> State:
+    return {"present": False, "shared": False, "dirty": frozenset()}
+
+
+# ------------------------------------------------------- shared predicates
+
+
+def drops_on_self_invl(shared: bool) -> bool:
+    """Does a ``self_invl`` fence discard this line? (Shared lines only;
+    private lines are outside VIPS-M coherence.)"""
+    return shared
+
+
+def flushes_on_fence(shared: bool, dirty: AbstractSet[int]) -> bool:
+    """Does a fence write this line's dirty words through? (Both fences
+    flush — self_invl per footnote 7, self_down by definition.)"""
+    return shared and bool(dirty)
+
+
+def writes_back_on_evict(dirty: AbstractSet[int]) -> bool:
+    """Does a capacity eviction write the victim through?"""
+    return bool(dirty)
+
+
+# ------------------------------------------------------------- transitions
+
+
+def _g_fill(state: Mapping[str, Any], event: Event) -> bool:
+    return not state["present"]
+
+
+def _a_fill(state: Mapping[str, Any], event: Event) -> Effect:
+    return Effect({"present": True, "shared": bool(event.get("shared")),
+                   "dirty": frozenset()})
+
+
+def _g_store(state: Mapping[str, Any], event: Event) -> bool:
+    return bool(state["present"])
+
+
+def _a_store(state: Mapping[str, Any], event: Event) -> Effect:
+    nxt = dict(state)
+    nxt["dirty"] = frozenset(state["dirty"]) | {event.get("word")}
+    return Effect(nxt)
+
+
+def _flush_emits(state: Mapping[str, Any]) -> tuple:
+    if not state["dirty"]:
+        return ()
+    return (Emit("flush", info=(("words", tuple(sorted(state["dirty"]))),)),)
+
+
+def _g_invl_drop(state: Mapping[str, Any], event: Event) -> bool:
+    return bool(state["present"]) and drops_on_self_invl(state["shared"])
+
+
+def _a_invl_drop(state: Mapping[str, Any], event: Event) -> Effect:
+    # Flush-then-discard: the dirty shared words go through first
+    # (footnote 7), then the line leaves the L1.
+    return Effect(initial_line(), _flush_emits(state) + (Emit("drop"),))
+
+
+def _g_invl_keep(state: Mapping[str, Any], event: Event) -> bool:
+    return not _g_invl_drop(state, event)
+
+
+def _a_identity(state: Mapping[str, Any], event: Event) -> Effect:
+    return Effect(dict(state))
+
+
+def _g_down_flush(state: Mapping[str, Any], event: Event) -> bool:
+    return bool(state["present"]) and flushes_on_fence(state["shared"],
+                                                       state["dirty"])
+
+
+def _a_down_flush(state: Mapping[str, Any], event: Event) -> Effect:
+    nxt = dict(state)
+    nxt["dirty"] = frozenset()
+    return Effect(nxt, _flush_emits(state))
+
+
+def _g_down_keep(state: Mapping[str, Any], event: Event) -> bool:
+    return not _g_down_flush(state, event)
+
+
+def _g_evict(state: Mapping[str, Any], event: Event) -> bool:
+    return bool(state["present"])
+
+
+def _a_evict(state: Mapping[str, Any], event: Event) -> Effect:
+    emits = ()
+    if writes_back_on_evict(state["dirty"]):
+        emits = _flush_emits(state)
+    return Effect(initial_line(), emits + (Emit("drop"),))
+
+
+VIPS_L1_TABLE = TransitionTable(
+    protocol="vips",
+    fsm="l1_line",
+    initial=initial_line,
+    description="VIPS-M L1 line: residency, classification, dirty words",
+    transitions=(
+        Transition("fill", "fill", _g_fill, _a_fill,
+                   "2-hop fill from the LLC; classification fixed at fill"),
+        Transition("store", "store", _g_store, _a_store,
+                   "DRF store: mark the word dirty (delayed write-through)"),
+        Transition("invl_drop", "self_invl", _g_invl_drop, _a_invl_drop,
+                   "Acquire fence discards a shared line (flush dirty first)"),
+        Transition("invl_keep", "self_invl", _g_invl_keep, _a_identity,
+                   "Private/absent lines survive self_invl"),
+        Transition("down_flush", "self_down", _g_down_flush, _a_down_flush,
+                   "Release fence writes dirty shared words through"),
+        Transition("down_keep", "self_down", _g_down_keep, _a_identity,
+                   "Nothing to downgrade"),
+        Transition("evict", "evict", _g_evict, _a_evict,
+                   "Capacity eviction: write dirty words through, drop"),
+    ),
+)

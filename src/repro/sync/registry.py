@@ -31,6 +31,12 @@ BARRIERS = ("sr", "treesr", "dissemination")
 NAIVE_SYNC = ("ttas", "sr")
 SCALABLE_SYNC = ("clh", "treesr")
 
+#: Every primitive this registry can build, by spec name. The
+#: spec-coverage lint (CB-A210) requires each to carry a
+#: :class:`repro.analyze.linter.PrimitiveSpec`; extend this tuple when
+#: registering a new lock or barrier.
+REGISTERED_PRIMITIVES = LOCKS + BARRIERS + ("signal_wait",)
+
 
 def make_lock(name: str, style: SyncStyle) -> SyncPrimitive:
     if name == "tas":

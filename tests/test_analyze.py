@@ -29,10 +29,17 @@ def _ev(time, core, kind, addr, detail=None):
 
 
 class TestRules:
+    # Spec-coverage rules keep their historical A2xx numbering but are
+    # promoted to ERROR: a registered artifact with no analysis
+    # counterpart escapes every checker (see repro.analyze.coverage).
+    PROMOTED_TO_ERROR = ("CB-A210", "CB-A211")
+
     def test_catalog_prefixes_match_severity(self):
         for rule in RULES.values():
             assert rule.id and rule.title and rule.description
-            if "-E" in rule.id:
+            if rule.id in self.PROMOTED_TO_ERROR:
+                assert rule.severity is Severity.ERROR, rule.id
+            elif "-E" in rule.id:
                 assert rule.severity is Severity.ERROR, rule.id
             elif "-A" in rule.id:
                 assert rule.severity is Severity.ADVICE, rule.id
