@@ -1,0 +1,41 @@
+"""repro.fleet — the supervision layer over the repro.serve worker pool.
+
+The service plane (:mod:`repro.serve`) already survives *individual*
+deaths: journaled queue, generation-fenced leases, checkpoint resume.
+What it lacked was a brain that keeps the *population* healthy. This
+package is that brain:
+
+* :mod:`repro.fleet.paths` — the on-disk fleet registry
+  (``<root>/fleet/``): per-worker pidfiles + start metadata, written by
+  both :func:`repro.serve.worker.spawn_worker` and the workers
+  themselves, so status and adoption work even for hand-spawned
+  workers;
+* :mod:`repro.fleet.budget` — restart budgets: per-slot seeded
+  jittered-exponential backoff (byte-identical across supervisor
+  restarts), a fleet-wide restart rate limit, and windowed quarantine
+  of flapping workers with a taxonomy-aware reason;
+* :mod:`repro.fleet.autoscale` — the pure scale-up/scale-down decision
+  function over scraped ``/metrics`` samples, with hysteresis;
+* :mod:`repro.fleet.supervisor` — the supervisor loop: spawn, monitor,
+  restart, adopt-after-SIGKILL, autoscale, journal to ``fleet.jsonl``;
+* :mod:`repro.fleet.drill` — the deterministic partition drill (worker
+  kamikazes + supervisor SIGKILL + transport partition, zero lost /
+  zero duplicated assertions);
+* :mod:`repro.fleet.cli` — ``repro-fleet up/status/scale/drain/drill``.
+"""
+
+from repro.fleet.autoscale import AutoscaleConfig, Autoscaler, FleetSample
+from repro.fleet.budget import (QUARANTINED, RestartBudget, RestartDecision,
+                                SlotBudget)
+from repro.fleet.paths import (fleet_dir, pid_alive, read_worker_metas,
+                               remove_worker_meta, worker_meta_path,
+                               write_worker_meta)
+from repro.fleet.supervisor import Supervisor, SupervisorConfig
+
+__all__ = [
+    "AutoscaleConfig", "Autoscaler", "FleetSample",
+    "QUARANTINED", "RestartBudget", "RestartDecision", "SlotBudget",
+    "Supervisor", "SupervisorConfig",
+    "fleet_dir", "pid_alive", "read_worker_metas", "remove_worker_meta",
+    "worker_meta_path", "write_worker_meta",
+]

@@ -1,0 +1,164 @@
+"""Queue-depth autoscaling: the pure decision half.
+
+The supervisor scrapes ``GET /metrics``, parses it with
+:func:`repro.obs.promtext.parse_prometheus`, reduces the families to a
+:class:`FleetSample` (queued runs, leased runs, oldest lease age), and
+asks the :class:`Autoscaler` what the pool's desired size should be.
+All the judgment lives here, process-free and clock-free, so the
+hysteresis math is unit-testable with hand-fed samples:
+
+* **scale up** when backlog pressure — queued runs beyond what the
+  current pool can drain promptly — persists for ``up_ticks``
+  consecutive samples. One hot sample is ignored: a chaos blip, a
+  burst that the pool absorbs next tick, or a scrape racing a commit
+  storm must not thrash the fleet;
+* **scale down** when the pool has been idle-rich (more workers than
+  in-flight + queued work justifies) for ``down_ticks`` consecutive
+  samples, which is deliberately slower than scale-up: spawning is
+  cheap, but a drained worker loses its warm caches;
+* the answer is always clamped to ``[min_workers, max_workers]``, and
+  a failed scrape (service partitioned from the supervisor) freezes
+  the current size — scaling on missing data is how autoscalers kill
+  healthy fleets.
+
+Scale-down is executed by the supervisor as a **graceful drain**
+(SIGTERM → the worker finishes its current job and deregisters), never
+a kill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.promtext import parse_prometheus
+
+__all__ = ["AutoscaleConfig", "Autoscaler", "FleetSample",
+           "sample_of_metrics"]
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One scrape, reduced to what the scaler needs."""
+
+    queued: int
+    leased: int
+    oldest_lease_age_s: float = 0.0
+
+    @property
+    def demand(self) -> int:
+        """Work that wants a worker right now."""
+        return self.queued + self.leased
+
+
+def sample_of_metrics(text: str) -> FleetSample:
+    """Reduce a ``/metrics`` body to a :class:`FleetSample`.
+
+    Reads ``repro_runs{state=queued|leased}`` and
+    ``repro_oldest_lease_age_seconds`` — all emitted by
+    :meth:`repro.serve.queue.JobQueue.prometheus_families` under the
+    queue lock, so the three numbers are one consistent snapshot.
+    """
+    families = parse_prometheus(text)
+    runs = families.get("repro_runs", {}).get("samples", {})
+    queued = leased = 0
+    for (_name, labels), value in runs.items():
+        state = dict(labels).get("state")
+        if state == "queued":
+            queued = int(value)
+        elif state == "leased":
+            leased = int(value)
+    oldest = 0.0
+    fam = families.get("repro_oldest_lease_age_seconds", {})
+    for _key, value in fam.get("samples", {}).items():
+        oldest = float(value)
+    return FleetSample(queued=queued, leased=leased,
+                       oldest_lease_age_s=oldest)
+
+
+@dataclass
+class AutoscaleConfig:
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Queued runs per worker the pool is expected to absorb without
+    #: growing; backlog beyond ``current * backlog_per_worker`` is
+    #: pressure.
+    backlog_per_worker: int = 2
+    #: Consecutive pressured samples before growing.
+    up_ticks: int = 2
+    #: Consecutive idle-rich samples before shrinking (slower on
+    #: purpose; see the module docstring).
+    down_ticks: int = 6
+    #: Grow by this many workers per decision (clamped to max).
+    up_step: int = 1
+    down_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 0:
+            raise ValueError("min_workers must be >= 0")
+        if self.max_workers < max(1, self.min_workers):
+            raise ValueError("max_workers must be >= max(1, min_workers)")
+        if self.up_ticks < 1 or self.down_ticks < 1:
+            raise ValueError("hysteresis tick counts must be >= 1")
+
+
+class Autoscaler:
+    """Feed samples, read desired sizes. Stateful only in its
+    hysteresis counters."""
+
+    def __init__(self, config: Optional[AutoscaleConfig] = None) -> None:
+        self.config = config or AutoscaleConfig()
+        self._hot_ticks = 0
+        self._cold_ticks = 0
+        #: Decisions taken, by direction — feeds the fleet snapshot.
+        self.decisions: Dict[str, int] = {"up": 0, "down": 0}
+
+    def clamp(self, size: int) -> int:
+        return max(self.config.min_workers,
+                   min(self.config.max_workers, size))
+
+    def desired(self, current: int, sample: Optional[FleetSample]) -> int:
+        """The pool size the fleet should converge to, given the
+        current size and the latest sample (None = scrape failed:
+        freeze)."""
+        cfg = self.config
+        current = self.clamp(current)
+        if sample is None:
+            # No data is not evidence of idleness. Hold position, and
+            # restart the hysteresis windows so stale streaks from
+            # before the partition don't fire the moment it heals.
+            self._hot_ticks = 0
+            self._cold_ticks = 0
+            return current
+        pressure = sample.queued > current * cfg.backlog_per_worker
+        idle_rich = current > cfg.min_workers and \
+            sample.demand <= max(0, current - cfg.down_step)
+        if pressure:
+            self._hot_ticks += 1
+            self._cold_ticks = 0
+        elif idle_rich:
+            self._cold_ticks += 1
+            self._hot_ticks = 0
+        else:
+            self._hot_ticks = 0
+            self._cold_ticks = 0
+        if self._hot_ticks >= cfg.up_ticks:
+            self._hot_ticks = 0
+            target = self.clamp(current + cfg.up_step)
+            if target > current:
+                self.decisions["up"] += 1
+            return target
+        if self._cold_ticks >= cfg.down_ticks:
+            self._cold_ticks = 0
+            target = self.clamp(current - cfg.down_step)
+            if target < current:
+                self.decisions["down"] += 1
+            return target
+        return current
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"hot_ticks": self._hot_ticks,
+                "cold_ticks": self._cold_ticks,
+                "decisions": dict(self.decisions),
+                "min": self.config.min_workers,
+                "max": self.config.max_workers}

@@ -1,0 +1,175 @@
+"""``repro-fleet`` — operate a self-healing worker fleet.
+
+Subcommands:
+
+* ``up`` — run a supervisor in the foreground (all the knobs of
+  ``python -m repro.fleet.supervisor``; SIGTERM/Ctrl-C drains the
+  fleet and exits);
+* ``status`` — print the supervisor's published snapshot plus every
+  registered worker pidfile (hand-spawned ones included), each with a
+  live/dead verdict from the pid liveness check;
+* ``scale`` — ask the running supervisor for a new desired size via
+  the ``control.json`` mailbox (clamped to its ``[min, max]``);
+* ``drain`` — scale to zero gracefully: every worker finishes its
+  current job and deregisters;
+* ``clear`` — lift a slot's quarantine (the only way back in: the
+  budget never un-benches a flapper on its own);
+* ``drill`` — the partition drill / parity control experiment
+  (:mod:`repro.fleet.drill`).
+
+The mailbox commands need no HTTP and no supervisor pid — they write
+one JSON file under ``<root>/fleet/`` that the supervisor consumes on
+its next tick, which is exactly what makes them safe to run while the
+supervisor is mid-restart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.fleet.paths import (control_path, fleet_dir, pid_alive,
+                               read_worker_metas, supervisor_state_path)
+from repro.ioutil import atomic_write_json, read_checked_json
+
+__all__ = ["main"]
+
+
+def _post_control(root: str, update: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge ``update`` into the control mailbox (several commands may
+    land between two supervisor ticks; last writer per key wins, other
+    keys survive)."""
+    path = control_path(fleet_dir(root))
+    try:
+        doc = read_checked_json(path)
+        if not isinstance(doc, dict):
+            doc = {}
+    except (OSError, ValueError):
+        doc = {}
+    doc.update(update)
+    atomic_write_json(path, doc, indent=2)
+    return doc
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    root = fleet_dir(args.root)
+    try:
+        snap = read_checked_json(supervisor_state_path(root))
+    except (OSError, ValueError):
+        snap = None
+    if snap is None:
+        print("supervisor: no snapshot (never started, or registry "
+              "wiped)")
+    else:
+        pid = int(snap.get("pid", 0))
+        alive = pid_alive(pid)
+        age = time.time() - float(snap.get("t", 0.0))
+        print(f"supervisor: pid {pid} "
+              f"({'alive' if alive else 'DEAD'}), "
+              f"snapshot {age:.1f}s old, tick {snap.get('ticks')}")
+        print(f"  desired {snap.get('desired')} in "
+              f"[{snap.get('min')}, {snap.get('max')}], "
+              f"states {snap.get('states')}")
+        counters = snap.get("counters") or {}
+        print(f"  spawns {counters.get('spawns', 0)}, "
+              f"crashes {counters.get('crashes', 0)}, "
+              f"adoptions {counters.get('adoptions', 0)}, "
+              f"clean exits {counters.get('clean_exits', 0)}")
+        quarantined = snap.get("quarantined") or {}
+        for slot, reason in sorted(quarantined.items()):
+            print(f"  quarantined {slot}: {reason}")
+    metas = read_worker_metas(root)
+    print(f"workers: {len(metas)} registered")
+    for meta in metas:
+        state = "alive" if meta.get("alive") else "dead"
+        print(f"  {meta.get('worker_id')}: pid {meta.get('pid')} "
+              f"({state}) -> {meta.get('server')}")
+    if args.json:
+        print(json.dumps({"supervisor": snap, "workers": metas},
+                         indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    _post_control(args.root, {"desired": args.to})
+    print(f"requested desired={args.to} (applied on the supervisor's "
+          f"next tick)")
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    _post_control(args.root, {"drain": True})
+    print("requested drain (fleet scales to 0 gracefully)")
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    _post_control(args.root, {"clear_quarantine": args.slots})
+    print(f"requested quarantine clear for {', '.join(args.slots)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``up`` and ``drill`` forward everything after the verb verbatim.
+    # argparse's REMAINDER refuses a leading optional right after a
+    # subparser (``repro-fleet up --server ...`` dies with
+    # "unrecognized arguments"), so dispatch these two before parsing.
+    if argv[:1] in (["up"], ["drill"]):
+        rest = argv[1:]
+        if rest[:1] == ["--"]:
+            rest = rest[1:]
+        if argv[0] == "up":
+            from repro.fleet.supervisor import main as supervisor_main
+            return supervisor_main(rest)
+        from repro.fleet.drill import main as drill_main
+        return drill_main(rest)
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Operate a self-healing repro-serve worker fleet.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    up = sub.add_parser("up", help="run a supervisor in the foreground")
+    up.add_argument("args", nargs=argparse.REMAINDER,
+                    help="flags for repro.fleet.supervisor "
+                         "(--server, --root, --min, --max, ...)")
+
+    status = sub.add_parser("status", help="snapshot + worker registry")
+    status.add_argument("--root", required=True)
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(func=_cmd_status)
+
+    scale = sub.add_parser("scale", help="request a new desired size")
+    scale.add_argument("--root", required=True)
+    scale.add_argument("--to", type=int, required=True)
+    scale.set_defaults(func=_cmd_scale)
+
+    drain = sub.add_parser("drain", help="gracefully scale to zero")
+    drain.add_argument("--root", required=True)
+    drain.set_defaults(func=_cmd_drain)
+
+    clear = sub.add_parser("clear", help="lift slot quarantines")
+    clear.add_argument("--root", required=True)
+    clear.add_argument("slots", nargs="+", metavar="SLOT")
+    clear.set_defaults(func=_cmd_clear)
+
+    drill = sub.add_parser("drill", help="partition drill / parity run")
+    drill.add_argument("args", nargs=argparse.REMAINDER,
+                       help="flags for repro.fleet.drill "
+                            "(--root, --jobs, --seed, --parity)")
+
+    args = parser.parse_args(argv)
+    if args.command == "up":
+        from repro.fleet.supervisor import main as supervisor_main
+        return supervisor_main(args.args)
+    if args.command == "drill":
+        from repro.fleet.drill import main as drill_main
+        return drill_main(args.args)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

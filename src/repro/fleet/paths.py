@@ -1,0 +1,138 @@
+"""The on-disk fleet registry: ``<root>/fleet/``.
+
+Everything the supervisor must rediscover after its own SIGKILL lives
+here as small JSON files, written atomically through
+:mod:`repro.ioutil` (and therefore through the :mod:`repro.iohooks`
+fault sites, so chaos campaigns can tear them):
+
+* ``fleet/workers/<worker_id>.json`` — one pidfile + start metadata per
+  worker. :func:`repro.serve.worker.spawn_worker` writes it the moment
+  the child exists (pid, argv, slot); the worker process overwrites it
+  on startup with its richer self-description and removes it on a clean
+  exit. A file whose pid fails the liveness check is a corpse: readers
+  skip it and the supervisor reaps it.
+* ``fleet/supervisor.json`` — the supervisor's per-tick state snapshot
+  (desired size, per-slot states, restart/quarantine counters, breaker
+  state). The queue's ``/metrics`` endpoint renders it as
+  ``repro_fleet_*`` gauges; ``repro-fleet status`` pretty-prints it.
+* ``fleet/control.json`` — the CLI→supervisor mailbox (scale/drain
+  commands), applied and cleared at the next tick.
+* ``fleet/fleet.jsonl`` — the supervisor's append-only journal (see
+  :mod:`repro.fleet.supervisor`).
+
+This module is deliberately a leaf — stdlib + :mod:`repro.ioutil` only
+— so both :mod:`repro.serve.worker` and the supervisor can use it
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.ioutil import atomic_write_json, read_checked_json
+
+__all__ = ["fleet_dir", "workers_dir", "worker_meta_path",
+           "write_worker_meta", "read_worker_meta", "read_worker_metas",
+           "remove_worker_meta", "pid_alive", "supervisor_state_path",
+           "control_path", "fleet_journal_path"]
+
+
+def fleet_dir(root: str) -> str:
+    """The fleet registry directory under a service root."""
+    return os.path.join(str(root), "fleet")
+
+
+def workers_dir(fleet_root: str) -> str:
+    return os.path.join(fleet_root, "workers")
+
+
+def supervisor_state_path(fleet_root: str) -> str:
+    return os.path.join(fleet_root, "supervisor.json")
+
+
+def control_path(fleet_root: str) -> str:
+    return os.path.join(fleet_root, "control.json")
+
+
+def fleet_journal_path(fleet_root: str) -> str:
+    return os.path.join(fleet_root, "fleet.jsonl")
+
+
+def worker_meta_path(fleet_root: str, worker_id: str) -> str:
+    safe = worker_id.replace(os.sep, "_")
+    return os.path.join(workers_dir(fleet_root), f"{safe}.json")
+
+
+def pid_alive(pid: int) -> bool:
+    """Liveness check by null signal. PermissionError means the pid
+    exists but belongs to someone else — for adoption purposes that is
+    *not* our worker, so it counts as dead."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return False
+
+
+def write_worker_meta(fleet_root: str, worker_id: str, pid: int,
+                      server_url: str, **extra: Any) -> str:
+    """Write (or refresh) one worker's pidfile + start metadata.
+    Atomic but not fsynced: a lost pidfile after a host crash costs an
+    orphan check, not correctness — liveness is always re-verified
+    against the pid anyway."""
+    path = worker_meta_path(fleet_root, worker_id)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    doc = {"worker_id": worker_id, "pid": int(pid),
+           "server": server_url, "t_written": time.time(), **extra}
+    atomic_write_json(path, doc, durable=False)
+    return path
+
+
+def read_worker_meta(fleet_root: str,
+                     worker_id: str) -> Optional[Dict[str, Any]]:
+    return _load(worker_meta_path(fleet_root, worker_id))
+
+
+def _load(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        doc = read_checked_json(path)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def read_worker_metas(fleet_root: str,
+                      live_only: bool = False) -> List[Dict[str, Any]]:
+    """Every registered worker's metadata, oldest first. With
+    ``live_only`` each entry's pid is liveness-checked and corpses are
+    skipped (their files are left for the supervisor to reap)."""
+    directory = workers_dir(fleet_root)
+    if not os.path.isdir(directory):
+        return []
+    metas: List[Dict[str, Any]] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        doc = _load(os.path.join(directory, name))
+        if doc is None:
+            continue
+        doc["alive"] = pid_alive(int(doc.get("pid", 0)))
+        if live_only and not doc["alive"]:
+            continue
+        metas.append(doc)
+    metas.sort(key=lambda d: (d.get("t_started") or d.get("t_written")
+                              or 0.0, d.get("worker_id", "")))
+    return metas
+
+
+def remove_worker_meta(fleet_root: str, worker_id: str) -> None:
+    try:
+        os.unlink(worker_meta_path(fleet_root, worker_id))
+    except OSError:
+        pass

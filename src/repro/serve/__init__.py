@@ -16,11 +16,16 @@ Layers (each its own module):
 * :mod:`repro.serve.queue`   — state machine: dedup, quotas, leases
 * :mod:`repro.serve.api`     — the threaded HTTP server
 * :mod:`repro.serve.client`  — stdlib HTTP client
+* :mod:`repro.serve.breaker` — the client-side circuit breaker
 * :mod:`repro.serve.worker`  — the lease/execute/commit worker loop
 * :mod:`repro.serve.cli`     — the ``repro-serve`` entry point
+
+Fleet supervision (restart budgets, autoscaling, the partition drill)
+lives one layer up, in :mod:`repro.fleet`.
 """
 
 from repro.serve.api import ServeService
+from repro.serve.breaker import CircuitBreaker, CircuitOpenError
 from repro.serve.client import ServeClient, ServeHTTPError
 from repro.serve.journal import Journal
 from repro.serve.model import (HEALTH_DEGRADED, HEALTH_OK,
@@ -36,6 +41,8 @@ __all__ = [
     "HEALTH_OK",
     "HEALTH_READ_ONLY",
     "BacklogExceededError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "JobQueue",
     "Journal",
     "QuotaExceededError",

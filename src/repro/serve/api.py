@@ -189,25 +189,35 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "POST":
             body = self._read_json()
             if head == "jobs" and not rest:
+                deadline_s = body.get("deadline_s")
                 view = queue.submit(
                     tenant=str(body["tenant"]), spec_dict=body["spec"],
                     priority=int(body.get("priority", 0)),
-                    telemetry=bool(body.get("telemetry", False)))
+                    telemetry=bool(body.get("telemetry", False)),
+                    deadline_s=(float(deadline_s)
+                                if deadline_s is not None else None))
                 self._send_json(view, status=201)
                 return True
             if head == "sweeps" and not rest:
+                deadline_s = body.get("deadline_s")
                 views = queue.submit_many(
                     tenant=str(body["tenant"]),
                     spec_dicts=list(body["specs"]),
                     priority=int(body.get("priority", 0)),
-                    telemetry=bool(body.get("telemetry", False)))
+                    telemetry=bool(body.get("telemetry", False)),
+                    deadline_s=(float(deadline_s)
+                                if deadline_s is not None else None))
                 self._send_json({"submissions": views}, status=201)
                 return True
             if head == "worker" and rest == ["lease"]:
                 lease = queue.lease(str(body.get("worker", "anonymous")))
                 if lease is None:
+                    # events_offset lets an idle worker long-poll the
+                    # event stream instead of re-polling this endpoint.
                     self._send_json({"idle": True,
-                                     "draining": queue.draining})
+                                     "draining": queue.draining,
+                                     "events_offset":
+                                         queue.events_offset()})
                 else:
                     self._send_json(lease, status=201)
                 return True

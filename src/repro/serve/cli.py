@@ -55,12 +55,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                      probe_interval_s=args.probe_interval_s,
                      read_only_after=args.read_only_after,
                      checkpoint_every=args.checkpoint_every,
+                     deadline_cycles_per_s=args.deadline_cycles_per_s,
                      verbose=args.verbose)
     service = ServeService(queue, host=args.host, port=args.port,
                            verbose=args.verbose).start()
     print(f"repro-serve listening on {service.url} (root {args.root})",
           flush=True)
-    fleet = [spawn_worker(service.url, index=i, verbose=args.verbose)
+    # Local workers register in the fleet directory so repro-fleet
+    # status sees them (and a later supervisor can adopt them).
+    from repro.fleet.paths import fleet_dir
+    fleet = [spawn_worker(service.url, index=i,
+                          fleet_dir=fleet_dir(args.root),
+                          verbose=args.verbose)
              for i in range(args.workers)]
     if fleet:
         print(f"spawned {len(fleet)} local workers", flush=True)
@@ -83,6 +89,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
                     max_jobs=args.max_jobs,
                     exit_on_drain=args.exit_on_drain,
                     kill_after_boundaries=args.kill_after_boundaries,
+                    fleet_dir=args.fleet_dir,
                     verbose=args.verbose)
     return worker.run()
 
@@ -104,7 +111,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ServeClient(args.server)
     specs = _load_specs(args.spec)
     views = client.submit_many(args.tenant, specs, priority=args.priority,
-                               telemetry=args.telemetry)
+                               telemetry=args.telemetry,
+                               deadline_s=args.deadline_s)
     for view in views:
         hit = " (cache hit)" if view.get("cache_hit") else ""
         print(f"{view['submission_id']}  {view['state']}"
@@ -265,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "trips it immediately)")
     serve.add_argument("--checkpoint-every", type=int, default=2000,
                        help="checkpoint boundary period in cycles")
+    serve.add_argument("--deadline-cycles-per-s", type=float, default=0.0,
+                       help="wall-to-simulated-cycles rate used to "
+                            "derive an engine cycle budget from a "
+                            "submission deadline (0 = wall-clock "
+                            "deadline only)")
     serve.add_argument("--verbose", action="store_true")
     serve.set_defaults(fn=cmd_serve)
 
@@ -276,6 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--exit-on-drain", action="store_true")
     worker.add_argument("--kill-after-boundaries", type=int, default=0,
                         help=argparse.SUPPRESS)  # crash-testing hook
+    worker.add_argument("--fleet-dir", default=None,
+                        help="fleet registry directory (<root>/fleet): "
+                             "register a pidfile there so repro-fleet "
+                             "status and supervisor adoption see this "
+                             "worker")
     worker.add_argument("--verbose", action="store_true")
     worker.set_defaults(fn=cmd_worker)
 
@@ -289,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--telemetry", action="store_true",
                         help="export Perfetto/CSV artifacts for these "
                              "runs")
+    submit.add_argument("--deadline-s", type=float, default=None,
+                        help="seconds from now after which these "
+                             "submissions are worthless: the deadline "
+                             "caps lease TTLs and the engine cycle "
+                             "budget, and an expired run fails "
+                             "terminally as kind 'timeout'")
     submit.add_argument("--wait", action="store_true",
                         help="block until every submission is terminal")
     submit.add_argument("--poll-s", type=float, default=0.5)

@@ -28,6 +28,16 @@ The backoff RNG is seedable (``retry_seed``) so chaos campaigns replay
 deterministically, and the whole HTTP path goes through one pluggable
 ``transport`` callable so :mod:`repro.chaos.httpshim` can sit between
 this client and the wire without monkeypatching.
+
+Circuit breaker
+---------------
+
+Pass ``breaker=CircuitBreaker(...)`` (or ``breaker=True`` for
+defaults) and every wire call is gated through it: after a streak of
+transport failures (OSError or 5xx) the breaker opens and requests
+fail *locally* with :class:`~repro.serve.breaker.CircuitOpenError` —
+an ``OSError``, so existing backoff arms handle it — until a half-open
+probe finds the service answering again. See :mod:`repro.serve.breaker`.
 """
 
 from __future__ import annotations
@@ -38,8 +48,10 @@ import time
 import urllib.error
 import urllib.request
 from collections import Counter
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
+                    Union)
 
+from repro.serve.breaker import CircuitBreaker, CircuitOpenError
 from repro.serve.model import StaleLeaseError
 
 __all__ = ["ServeClient", "ServeHTTPError", "urllib_transport"]
@@ -89,7 +101,8 @@ class ServeClient:
                  retries: int = 0, backoff_s: float = 0.1,
                  backoff_max_s: float = 2.0,
                  retry_seed: Optional[int] = None,
-                 transport: Optional[Transport] = None) -> None:
+                 transport: Optional[Transport] = None,
+                 breaker: Union[CircuitBreaker, bool, None] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, retries)
@@ -97,10 +110,33 @@ class ServeClient:
         self.backoff_max_s = backoff_max_s
         self._rng = random.Random(retry_seed)
         self.transport: Transport = transport or urllib_transport
+        if breaker is True:
+            breaker = CircuitBreaker()
+        self.breaker: Optional[CircuitBreaker] = breaker or None
         #: Retries actually performed, by reason — feeds worker metrics.
         self.retry_counts: Counter = Counter()
 
     # ------------------------------------------------------------ plumbing
+
+    def _wire(self, method: str, url: str, data: Optional[bytes],
+              timeout: float, headers: Dict[str, str]) -> TransportResult:
+        """One gated transport round-trip: refused locally while the
+        breaker is open; OSErrors and 5xx statuses count against it,
+        any other answer (even a 4xx) closes it."""
+        if self.breaker is not None:
+            self.breaker.allow()
+        try:
+            result = self.transport(method, url, data, timeout, headers)
+        except OSError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            if result[0] >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+        return result
 
     def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
         base = min(self.backoff_max_s,
@@ -138,8 +174,10 @@ class ServeClient:
             attempt += 1
             budget_left = attempt <= self.retries
             try:
-                status, blob, resp_headers = self.transport(
+                status, blob, resp_headers = self._wire(
                     method, url, data, timeout or self.timeout, headers)
+            except CircuitOpenError:
+                raise  # local refusal: retrying without waiting is futile
             except OSError as exc:
                 if idempotent and budget_left:
                     self.retry_counts["connection"] += 1
@@ -180,7 +218,7 @@ class ServeClient:
     def healthz(self) -> Dict[str, Any]:
         """The /healthz document, *without* retry mapping: a 503 here
         is an answer (state=read_only), not a failure."""
-        status, blob, _ = self.transport(
+        status, blob, _ = self._wire(
             "GET", f"{self.base_url}/healthz", None, self.timeout, {})
         doc = json.loads(blob.decode("utf-8"))
         doc["http_status"] = status
@@ -191,19 +229,27 @@ class ServeClient:
 
     def submit(self, tenant: str, spec: Dict[str, Any],
                priority: int = 0,
-               telemetry: bool = False) -> Dict[str, Any]:
-        return self.request("POST", "/v1/jobs",
-                            {"tenant": tenant, "spec": spec,
-                             "priority": priority, "telemetry": telemetry},
+               telemetry: bool = False,
+               deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"tenant": tenant, "spec": spec,
+                                "priority": priority,
+                                "telemetry": telemetry}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self.request("POST", "/v1/jobs", body,
                             idempotent=True)  # dedup by content address
 
     def submit_many(self, tenant: str, specs: List[Dict[str, Any]],
                     priority: int = 0,
-                    telemetry: bool = False) -> List[Dict[str, Any]]:
-        doc = self.request("POST", "/v1/sweeps",
-                           {"tenant": tenant, "specs": specs,
-                            "priority": priority, "telemetry": telemetry},
-                           idempotent=True)
+                    telemetry: bool = False,
+                    deadline_s: Optional[float] = None
+                    ) -> List[Dict[str, Any]]:
+        body: Dict[str, Any] = {"tenant": tenant, "specs": specs,
+                                "priority": priority,
+                                "telemetry": telemetry}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        doc = self.request("POST", "/v1/sweeps", body, idempotent=True)
         return doc["submissions"]
 
     def submission(self, sub_id: str) -> Dict[str, Any]:
@@ -227,8 +273,7 @@ class ServeClient:
 
     def artifact(self, job_key: str, name: str) -> bytes:
         url = f"{self.base_url}/v1/runs/{job_key}/artifacts/{name}"
-        status, blob, _ = self.transport("GET", url, None,
-                                         self.timeout, {})
+        status, blob, _ = self._wire("GET", url, None, self.timeout, {})
         if status != 200:
             raise ServeHTTPError(status, {"error": f"artifact {name}"})
         return blob
@@ -237,7 +282,7 @@ class ServeClient:
 
     def metrics(self) -> str:
         """The raw Prometheus text body of ``GET /metrics``."""
-        status, blob, _ = self.transport(
+        status, blob, _ = self._wire(
             "GET", f"{self.base_url}/metrics", None, self.timeout, {})
         if status != 200:
             raise ServeHTTPError(status, {"error": "metrics"})

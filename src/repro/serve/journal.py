@@ -54,8 +54,14 @@ class Journal:
     write-side latency floor, and ``GET /metrics`` exposes it.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str,
+                 durable_ops: "frozenset[str]" = DURABLE_OPS) -> None:
         self.path = path
+        #: Which ops fsync before returning. The queue uses the module
+        #: default; other journal users (the fleet supervisor's
+        #: ``fleet.jsonl``) pass their own durable vocabulary and reuse
+        #: the same tiered-write machinery and fault sites.
+        self.durable_ops = durable_ops
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         self._lock = threading.Lock()
         self._handle = open(path, "a")
@@ -80,7 +86,8 @@ class Journal:
         all lines written under the lock, then one flush, and one fsync
         if any entry is durable."""
         batch = [dict(entry) for entry in entries]
-        durable = any(entry.get("op") in DURABLE_OPS for entry in batch)
+        durable = any(entry.get("op") in self.durable_ops
+                      for entry in batch)
         data = "".join(json.dumps(entry, sort_keys=True) + "\n"
                        for entry in batch)
         with self._lock:

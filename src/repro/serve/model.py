@@ -179,6 +179,13 @@ class Run:
     resumed_from: Optional[int] = None
     #: Any attached submission asked for telemetry artifacts.
     telemetry: bool = False
+    #: Wall-clock deadline (time.time) after which the run is cut off at
+    #: every layer — refused a lease, lease TTL capped, and the worker's
+    #: engine bounded by a derived ``max_cycles``. ``None`` = unlimited;
+    #: when submissions with different deadlines dedup onto one run the
+    #: *loosest* wins (None beats any finite deadline), because a result
+    #: computed for the patient tenant also answers the impatient one.
+    deadline_at: Optional[float] = None
 
     def job_spec(self) -> JobSpec:
         return JobSpec.from_dict(self.spec)
@@ -204,6 +211,8 @@ class Run:
             extra["failure_kind"] = self.kind
         if self.resumed_from is not None:
             extra["resumed_from"] = self.resumed_from
+        if self.deadline_at is not None:
+            extra["deadline_at"] = self.deadline_at
         if artifacts:
             extra["artifacts"] = list(artifacts)
         return job_status_entry(self.job_spec(), record, **extra)

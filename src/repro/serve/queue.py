@@ -83,6 +83,7 @@ class JobQueue:
                  checkpoint_every: int = 2000,
                  checkpoint_ring: int = 4,
                  flight_capacity: int = 256,
+                 deadline_cycles_per_s: float = 0.0,
                  verbose: bool = False) -> None:
         if lease_s <= 0:
             raise ValueError("lease_s must be positive")
@@ -108,6 +109,13 @@ class JobQueue:
         self.read_only_after = max(1, read_only_after)
         self.checkpoint_every = checkpoint_every
         self.checkpoint_ring = checkpoint_ring
+        #: Wall→simulated-clock conversion for deadline propagation:
+        #: a leased run with ``deadline_at`` set gets an out-of-band
+        #: ``_deadline.max_cycles`` of ``remaining_s * this rate``, so
+        #: the engine's own cycle budget cuts a doomed run off even if
+        #: the worker never looks at the wall clock again. 0 disables
+        #: the cycle cap (the wall-clock expiry still applies).
+        self.deadline_cycles_per_s = deadline_cycles_per_s
 
         self.cache = ResultCache(os.path.join(self.root, "cache"))
         self.checkpoint_dir = os.path.join(self.root, "ckpts")
@@ -305,6 +313,15 @@ class JobQueue:
     def artifacts_dir(self, job_key: str) -> str:
         return os.path.join(self.artifacts_root, job_key)
 
+    def events_offset(self) -> int:
+        """Current byte size of the orchestration event log — the
+        offset an idle worker long-polls ``/v1/events`` from, so it is
+        woken by the *next* transition without replaying history."""
+        try:
+            return os.path.getsize(self.events_path)
+        except OSError:
+            return 0
+
     def artifact_names(self, job_key: str) -> List[str]:
         directory = self.artifacts_dir(job_key)
         if not os.path.isdir(directory):
@@ -316,19 +333,33 @@ class JobQueue:
 
     def submit(self, tenant: str, spec_dict: Dict[str, Any],
                priority: int = 0,
-               telemetry: bool = False) -> Dict[str, Any]:
+               telemetry: bool = False,
+               deadline_s: Optional[float] = None) -> Dict[str, Any]:
         """Accept one submission; returns its view (durably journaled
-        before return). Identical specs collapse onto one run."""
+        before return). Identical specs collapse onto one run.
+
+        ``deadline_s`` (seconds from now, optional) bounds the whole
+        run: past the deadline the run is terminally failed (kind
+        ``timeout``) instead of leased, and a lease granted near it has
+        its TTL and engine cycle budget capped to the remaining time.
+        """
         (view,) = self.submit_many(tenant, [spec_dict], priority=priority,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry,
+                                   deadline_s=deadline_s)
         return view
 
     def submit_many(self, tenant: str, spec_dicts: List[Dict[str, Any]],
                     priority: int = 0,
-                    telemetry: bool = False) -> List[Dict[str, Any]]:
+                    telemetry: bool = False,
+                    deadline_s: Optional[float] = None
+                    ) -> List[Dict[str, Any]]:
         """Batch submission (a sweep): one journal append, one fsync."""
         if not tenant or "/" in tenant:
             raise ValueError(f"bad tenant name {tenant!r}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        deadline_at = (time.time() + float(deadline_s)
+                       if deadline_s is not None else None)
         specs = [JobSpec.from_dict(d) for d in spec_dicts]
         with self._lock:
             if not self._replaying and self.health == HEALTH_READ_ONLY:
@@ -363,6 +394,10 @@ class JobQueue:
                          "priority": priority, "job_key": spec.job_key(),
                          "spec": spec.to_dict(), "telemetry": telemetry,
                          "trace": mint_trace_id(), "t": time.time()}
+                if deadline_at is not None:
+                    # Absolute, so replay after a restart enforces the
+                    # same instant instead of restarting the countdown.
+                    entry["deadline"] = deadline_at
                 entries.append(entry)
             if not self._replaying:
                 # The ack contract: a submission is durable before it is
@@ -420,6 +455,7 @@ class JobQueue:
                       trace_id=entry.get("trace", ""),
                       t_queued=float(entry.get("t", 0.0)) or time.time())
             run.telemetry = bool(entry.get("telemetry", False))
+            run.deadline_at = entry.get("deadline")
             self.runs[job_key] = run
         elif run.state in (RUN_FAILED, RUN_CANCELLED):
             # Fresh demand revives a terminally-failed/cancelled run.
@@ -428,6 +464,14 @@ class JobQueue:
             run.error, run.kind = "", "ok"
             run.seq = self._next_seq()
             run.t_queued = float(entry.get("t", 0.0)) or time.time()
+            run.deadline_at = entry.get("deadline")
+        else:
+            # Dedup merge: the loosest deadline wins (None = unlimited),
+            # since one result answers every attached submission.
+            if run.deadline_at is not None and run.state == RUN_QUEUED:
+                merged = entry.get("deadline")
+                run.deadline_at = (None if merged is None
+                                   else max(run.deadline_at, float(merged)))
         run.submissions.append(sub.sub_id)
         run.tenants.add(tenant)
         run.priority = max(run.priority, sub.priority)
@@ -460,15 +504,22 @@ class JobQueue:
                 # A commit needs cache + journal writes; don't hand out
                 # work that can only end in a failed publish.
                 return None
+            now = time.time()
+            self._expire_deadlines(now)
             run = self._pick()
             if run is None:
                 return None
-            now = time.time()
+            # Layer 1 of deadline propagation: the lease TTL never
+            # outlives the run's deadline, so a worker that dies holding
+            # a nearly-overdue run cannot park it past its cutoff.
+            lease_s = self.lease_s
+            if run.deadline_at is not None:
+                lease_s = max(0.05, min(lease_s, run.deadline_at - now))
             run.state = RUN_LEASED
             run.attempts += 1
             run.generation += 1
             run.worker = worker_id
-            run.lease_expires = now + self.lease_s
+            run.lease_expires = now + lease_s
             info = self.workers[worker_id]
             info["job_key"] = run.job_key
             info["leases"] = info.get("leases", 0) + 1
@@ -494,7 +545,7 @@ class JobQueue:
                 "job_key": run.job_key,
                 "token": run.generation,
                 "attempt": run.attempts,
-                "lease_s": self.lease_s,
+                "lease_s": lease_s,
                 "trace_id": run.trace_id,
                 "payload": self._payload(run),
             }
@@ -532,6 +583,17 @@ class JobQueue:
         if run.trace_id:
             payload["_trace"] = {"trace_id": run.trace_id,
                                  "attempt": run.attempts}
+        if run.deadline_at is not None:
+            # Layer 2: the worker gets the wall-clock cutoff, and layer
+            # 3 rides along as an engine cycle budget derived from the
+            # remaining time — the simulation cuts itself off even when
+            # the worker process never checks the clock again.
+            deadline: Dict[str, Any] = {"expires": run.deadline_at}
+            if self.deadline_cycles_per_s > 0:
+                remaining = max(0.0, run.deadline_at - time.time())
+                deadline["max_cycles"] = max(
+                    1, int(remaining * self.deadline_cycles_per_s))
+            payload["_deadline"] = deadline
         return payload
 
     def _touch_worker(self, worker_id: str) -> None:
@@ -554,7 +616,14 @@ class JobQueue:
                     f"lease for {job_key[:12]} is no longer held "
                     f"(state={run.state}, gen={run.generation}, "
                     f"presented={token})")
-            run.lease_expires = time.time() + self.lease_s
+            now = time.time()
+            run.lease_expires = now + self.lease_s
+            if run.deadline_at is not None:
+                # Heartbeats cannot extend a lease past the deadline:
+                # once it passes, the expiry sweep reclaims the run and
+                # the requeue path turns it into a terminal timeout.
+                run.lease_expires = min(run.lease_expires,
+                                        max(now + 0.05, run.deadline_at))
             return run.lease_expires
 
     def expire_leases(self, now: Optional[float] = None) -> List[str]:
@@ -565,12 +634,30 @@ class JobQueue:
         now = time.time() if now is None else now
         requeued = []
         with self._lock:
+            self._expire_deadlines(now)
             for run in list(self.runs.values()):
                 if run.state != RUN_LEASED or run.lease_expires > now:
                     continue
                 self._requeue(run, reason="lease_expired")
                 requeued.append(run.job_key)
         return requeued
+
+    def _expire_deadlines(self, now: float) -> None:
+        """Terminally fail queued runs whose deadline passed (kind
+        ``timeout`` — the same deterministic verdict an engine-level
+        SimulationTimeout produces, so it never requeues). Leased runs
+        are not touched here: their lease TTL is already capped at the
+        deadline, so expiry + :meth:`_requeue` collects them."""
+        for run in list(self.runs.values()):
+            if run.state != RUN_QUEUED or run.deadline_at is None \
+                    or run.deadline_at > now:
+                continue
+            self.counters["deadline_expirations"] += 1
+            self._terminal_failure(
+                run, kind="timeout",
+                error=f"deadline passed while queued "
+                      f"({now - run.deadline_at:.2f}s overdue, "
+                      f"{run.attempts} attempt(s))")
 
     def _close_lease_span(self, run: Run, outcome: str) -> None:
         """Record the ``lease.held`` host span for the lease now ending
@@ -591,6 +678,14 @@ class JobQueue:
         self._close_lease_span(run, outcome=reason)
         run.worker = None
         run.t_queued = time.time()
+        if run.deadline_at is not None and \
+                run.t_queued >= run.deadline_at:
+            self.counters["deadline_expirations"] += 1
+            self._terminal_failure(
+                run, kind="timeout",
+                error=f"deadline passed after {run.attempts} attempt(s) "
+                      f"({reason})")
+            return
         if run.attempts >= self.max_attempts:
             self._terminal_failure(
                 run, kind="crash",
@@ -1034,7 +1129,80 @@ class JobQueue:
                 "repro_journal_fsync_microseconds",
                 "Journal fsync latency (the service's write-side "
                 "durability floor).", self._journal.fsync_us))
+            fams += self._fleet_families(now)
             return fams
+
+    def _fleet_families(self, now: float) -> List[Family]:
+        """Fleet gauges, rendered from the supervisor's published
+        snapshot (``<root>/fleet/supervisor.json``) when one exists.
+
+        The supervisor is a separate process scraping *this* service,
+        so the service cannot observe it directly; the snapshot file is
+        the channel. A stale snapshot (no fresh publish, or a dead
+        supervisor pid) zeroes ``repro_fleet_supervisor_up`` but still
+        reports the last-known shape — during a supervisor restart the
+        dashboards keep their history instead of blinking to empty.
+        """
+        try:
+            from repro.fleet.paths import (fleet_dir, pid_alive,
+                                           supervisor_state_path)
+            doc = ioutil.read_checked_json(
+                supervisor_state_path(fleet_dir(self.root)))
+        except (OSError, ValueError):
+            return []
+        if not isinstance(doc, dict):
+            return []
+        fams: List[Family] = []
+        age = max(0.0, now - float(doc.get("t", 0.0) or 0.0))
+        pid = int(doc.get("pid", 0) or 0)
+        tick_s = float(doc.get("tick_s", 0.5) or 0.5)
+        fresh = age <= max(15.0, 20.0 * tick_s) and pid_alive(pid)
+
+        up = Family("repro_fleet_supervisor_up", "gauge",
+                    "1 while the fleet supervisor is alive and "
+                    "publishing fresh snapshots.")
+        up.add(1 if fresh else 0)
+        fams.append(up)
+        snap_age = Family("repro_fleet_snapshot_age_seconds", "gauge",
+                          "Age of the supervisor snapshot backing the "
+                          "repro_fleet_* families.")
+        snap_age.add(age)
+        fams.append(snap_age)
+
+        workers = Family("repro_fleet_workers", "gauge",
+                         "Fleet pool members by state.")
+        states = doc.get("states") or {}
+        workers.add(int(states.get("running", 0) or 0), state="running")
+        workers.add(int(states.get("draining", 0) or 0),
+                    state="draining")
+        workers.add(len(doc.get("quarantined") or {}),
+                    state="quarantined")
+        fams.append(workers)
+
+        desired = Family("repro_fleet_desired_workers", "gauge",
+                         "The pool size the supervisor is converging "
+                         "to (autoscaler + operator intent).")
+        desired.add(int(doc.get("desired", 0) or 0))
+        fams.append(desired)
+
+        events = Family("repro_fleet_events_total", "counter",
+                        "Supervisor lifecycle events (restart budget "
+                        "activity) since its journal began.")
+        counters = doc.get("counters") or {}
+        for kind in ("spawns", "crashes", "adoptions", "clean_exits"):
+            events.add(int(counters.get(kind, 0) or 0), kind=kind)
+        fams.append(events)
+
+        breaker_doc = doc.get("breaker") or {}
+        if breaker_doc:
+            breaker = Family("repro_fleet_breaker_state", "gauge",
+                             "Supervisor scrape-path circuit breaker "
+                             "(1 on the current state's sample).")
+            current = str(breaker_doc.get("state", ""))
+            for state in ("closed", "open", "half_open"):
+                breaker.add(1 if state == current else 0, state=state)
+            fams.append(breaker)
+        return fams
 
     def healthz_state_unlocked(self) -> str:
         """Current effective health state; caller holds the lock."""

@@ -713,3 +713,131 @@ class TestJournalTornTails:
         lease = queue.lease("w1")
         assert lease is not None and lease["job_key"] == spec.job_key()
         queue.close()
+
+
+class TestDeadlinePropagation:
+    """Deadline propagation end to end: submit-time ``deadline_s``
+    becomes the run's wall cutoff, which caps the lease TTL and the
+    heartbeat horizon (layer 1), rides the payload to the worker
+    (layer 2), and — when the queue knows a cycles-per-second rate —
+    becomes an engine ``max_cycles`` budget (layer 3)."""
+
+    def test_submit_records_the_absolute_deadline(self, tmp_path):
+        queue = make_queue(tmp_path)
+        before = time.time()
+        queue.submit("alice", spec_for(seed=30).to_dict(), deadline_s=60)
+        run = next(iter(queue.runs.values()))
+        assert before + 59 < run.deadline_at < time.time() + 61
+        queue.close()
+
+    def test_deadline_must_be_positive(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(ValueError, match="deadline_s"):
+            queue.submit("alice", spec_for(seed=31).to_dict(),
+                         deadline_s=0)
+        queue.close()
+
+    def test_expired_while_queued_is_terminal_timeout(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", spec_for(seed=32).to_dict(),
+                     deadline_s=0.05)
+        time.sleep(0.1)
+        assert queue.lease("w1") is None  # expiry sweeps before pick
+        run = next(iter(queue.runs.values()))
+        assert run.state == RUN_FAILED
+        assert run.kind == "timeout"          # deterministic: no requeue
+        assert "while queued" in run.error
+        assert queue.counters["deadline_expirations"] == 1
+        queue.close()
+
+    def test_lease_ttl_is_capped_at_the_deadline(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=300.0)
+        queue.submit("alice", spec_for(seed=33).to_dict(), deadline_s=2.0)
+        lease = queue.lease("w1")
+        assert lease["lease_s"] <= 2.0
+        run = queue.runs[lease["job_key"]]
+        assert lease["payload"]["_deadline"]["expires"] == run.deadline_at
+        assert run.lease_expires <= run.deadline_at + 0.001
+        queue.close()
+
+    def test_heartbeat_cannot_extend_past_the_deadline(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=300.0)
+        queue.submit("alice", spec_for(seed=34).to_dict(), deadline_s=5.0)
+        lease = queue.lease("w1")
+        run = queue.runs[lease["job_key"]]
+        expires = queue.heartbeat(lease["job_key"], lease["token"], "w1")
+        assert expires == pytest.approx(run.deadline_at)
+        queue.close()
+
+    def test_requeue_past_deadline_is_terminal_timeout(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=300.0, max_attempts=10)
+        queue.submit("alice", spec_for(seed=35).to_dict(),
+                     deadline_s=0.2)
+        lease = queue.lease("w1")
+        time.sleep(0.3)   # the capped lease expires with the deadline
+        assert queue.expire_leases() == [lease["job_key"]]
+        run = queue.runs[lease["job_key"]]
+        assert run.state == RUN_FAILED    # terminal, not back in queue
+        assert run.kind == "timeout"
+        assert "deadline passed after 1 attempt" in run.error
+        queue.close()
+
+    def test_dedup_merge_keeps_the_loosest_deadline(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = spec_for(seed=36).to_dict()
+        queue.submit("alice", dict(spec), deadline_s=1.0)
+        queue.submit("bob", dict(spec), deadline_s=100.0)
+        run = next(iter(queue.runs.values()))
+        assert run.deadline_at > time.time() + 50  # looser bound won
+        queue.submit("carol", dict(spec))          # no deadline at all
+        assert run.deadline_at is None
+        queue.close()
+
+    def test_payload_carries_an_engine_cycle_budget(self, tmp_path):
+        queue = make_queue(tmp_path, deadline_cycles_per_s=1000.0)
+        queue.submit("alice", spec_for(seed=37).to_dict(),
+                     deadline_s=10.0)
+        lease = queue.lease("w1")
+        deadline = lease["payload"]["_deadline"]
+        assert 1 <= deadline["max_cycles"] <= 10_000
+        queue.close()
+
+    def test_worker_refuses_a_pre_expired_payload(self):
+        payload = spec_for(seed=38).to_dict()
+        payload["_deadline"] = {"expires": time.time() - 1.0}
+        with pytest.raises(TimeoutError, match="before execution"):
+            execute_serve_job(payload)
+
+    def test_cycle_budget_cuts_the_simulation_off(self):
+        from repro.sim.engine import SimulationTimeout
+        payload = spec_for(seed=39).to_dict()
+        payload["_deadline"] = {"expires": time.time() + 600.0,
+                                "max_cycles": 1}
+        with pytest.raises(SimulationTimeout):
+            execute_serve_job(payload)
+
+    def test_deadline_survives_journal_replay(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", spec_for(seed=40).to_dict(),
+                     deadline_s=3600.0)
+        run = next(iter(queue.runs.values()))
+        deadline_at = run.deadline_at
+        queue.close()
+        reopened = make_queue(tmp_path)
+        replayed = next(iter(reopened.runs.values()))
+        assert replayed.deadline_at == deadline_at
+        reopened.close()
+
+
+class TestIdleLeaseEventsOffset:
+    def test_idle_lease_carries_the_long_poll_offset(self, service):
+        _service, client = service
+        doc = client.request("POST", "/v1/worker/lease",
+                             {"worker": "w1"})
+        assert doc["idle"] is True
+        assert doc["events_offset"] == 0
+        client.submit("alice", spec_for(seed=41).to_dict())
+        doc = client.request("POST", "/v1/worker/lease",
+                             {"worker": "w1"})
+        assert "events_offset" not in doc      # a real lease this time
+        assert doc["job_key"]
